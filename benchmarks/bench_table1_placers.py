@@ -1,0 +1,103 @@
+"""Table 1 — MVFB vs Monte-Carlo placement: latency, CPU runtime, #runs.
+
+The paper compares its MVFB placer against a Monte-Carlo placer that is
+given exactly twice as many placement runs as MVFB ended up using, for
+m=25 and m=100 random seeds.  MVFB produces equal or lower latency with
+comparable CPU time.  This benchmark regenerates the same rows with a
+configurable ``m`` (``REPRO_BENCH_SEEDS``, default 3) and asserts the
+headline claim: MVFB's latency is never worse than Monte-Carlo's even though
+Monte-Carlo gets twice the placement budget.
+
+The largest circuits dominate the runtime; by default the sweep covers the
+four smaller benchmarks and includes [[14,8,3]] / [[19,1,7]] only when
+``REPRO_BENCH_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.tables import format_comparison_table
+
+
+from report_util import emit as _emit
+from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.fabric.builder import quale_fabric
+from repro.mapper.options import MapperOptions, PlacerKind
+from repro.mapper.qspr import QsprMapper
+
+BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+_CIRCUITS = list(BENCHMARK_NAMES) if BENCH_FULL else [
+    "[[5,1,3]]",
+    "[[7,1,3]]",
+    "[[9,1,3]]",
+    "[[23,1,7]]",
+]
+
+_ROWS: dict[str, tuple] = {}
+
+
+def _run_both_placers(name: str) -> tuple:
+    fabric = quale_fabric()
+    circuit = qecc_encoder(name)
+    mvfb = QsprMapper(
+        MapperOptions(placer=PlacerKind.MVFB, num_seeds=BENCH_SEEDS)
+    ).map(circuit, fabric)
+    monte_carlo = QsprMapper(
+        MapperOptions(
+            placer=PlacerKind.MONTE_CARLO, num_placements=2 * mvfb.placement_runs
+        )
+    ).map(circuit, fabric)
+    return mvfb, monte_carlo
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_table1_row(benchmark, name):
+    mvfb, monte_carlo = benchmark.pedantic(
+        _run_both_placers, args=(name,), rounds=1, iterations=1
+    )
+
+    _ROWS[name] = (
+        name,
+        mvfb.latency,
+        round(mvfb.cpu_seconds * 1000),
+        mvfb.placement_runs,
+        monte_carlo.latency,
+        round(monte_carlo.cpu_seconds * 1000),
+        monte_carlo.placement_runs,
+    )
+    benchmark.extra_info.update(
+        mvfb_latency_us=mvfb.latency,
+        mvfb_runs=mvfb.placement_runs,
+        mc_latency_us=monte_carlo.latency,
+        mc_runs=monte_carlo.placement_runs,
+        seeds=BENCH_SEEDS,
+    )
+
+    # The paper's design of experiment: MC gets exactly twice MVFB's runs...
+    assert monte_carlo.placement_runs == 2 * mvfb.placement_runs
+    # ...and MVFB still produces equal or better latency (Table 1's claim).
+    # A 5% tolerance absorbs the noise of the scaled-down seed count.
+    assert mvfb.latency <= monte_carlo.latency * 1.05
+
+    if len(_ROWS) == len(_CIRCUITS):
+        ordered = [_ROWS[n] for n in _CIRCUITS]
+        _emit(
+            format_comparison_table(
+                f"Table 1 - MVFB vs Monte-Carlo placement (m={BENCH_SEEDS} seeds)",
+                [
+                    "circuit",
+                    "MVFB latency (us)",
+                    "MVFB CPU (ms)",
+                    "MVFB runs",
+                    "MC latency (us)",
+                    "MC CPU (ms)",
+                    "MC runs",
+                ],
+                ordered,
+            )
+        )

@@ -1,0 +1,35 @@
+"""Report collection for the benchmark harness.
+
+pytest captures stdout at the file-descriptor level, so benchmark tests
+cannot simply ``print()`` the Table 1 / Table 2 style reports they produce.
+Instead they call :func:`emit`, which appends the report to a scratch file
+next to this module; the ``pytest_terminal_summary`` hook in ``conftest.py``
+replays every collected report after the test session, where it is visible in
+the terminal (and in ``pytest ... | tee bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Scratch file holding the reports of the current benchmark session.
+REPORT_PATH = Path(__file__).with_name("_session_reports.txt")
+
+
+def reset() -> None:
+    """Forget reports from previous sessions (called at session start)."""
+    if REPORT_PATH.exists():
+        REPORT_PATH.unlink()
+
+
+def emit(text: str) -> None:
+    """Record one report block for the end-of-session summary."""
+    with REPORT_PATH.open("a") as handle:
+        handle.write(text.rstrip("\n") + "\n\n")
+
+
+def collected() -> str:
+    """All reports recorded in this session (empty string when none)."""
+    if not REPORT_PATH.exists():
+        return ""
+    return REPORT_PATH.read_text()

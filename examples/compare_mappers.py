@@ -1,0 +1,71 @@
+"""Compare the ideal baseline, QUALE, QPOS and QSPR on the QECC benchmark suite.
+
+Run with::
+
+    python examples/compare_mappers.py [--quick]
+
+This reproduces the structure of the paper's Table 2 (with a reduced number
+of MVFB seeds so the script finishes in well under a minute; the full
+experiment lives in ``benchmarks/bench_table2_mappers.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import IdealBaseline, MapperOptions, QposMapper, QsprMapper, QualeMapper, quale_fabric
+from repro.analysis import format_comparison_table
+from repro.circuits.qecc import BENCHMARK_NAMES, QECC_BENCHMARKS, qecc_encoder
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="only run the three smallest circuits"
+    )
+    parser.add_argument("--seeds", type=int, default=3, help="MVFB seeds m (default: 3)")
+    args = parser.parse_args()
+
+    fabric = quale_fabric()
+    ideal = IdealBaseline()
+    names = BENCHMARK_NAMES[:3] if args.quick else BENCHMARK_NAMES
+
+    rows = []
+    for name in names:
+        circuit = qecc_encoder(name)
+        bench = QECC_BENCHMARKS[name]
+        baseline = ideal.latency(circuit)
+        quale = QualeMapper().map(circuit, fabric)
+        qpos = QposMapper().map(circuit, fabric)
+        qspr = QsprMapper(MapperOptions(num_seeds=args.seeds)).map(circuit, fabric)
+        rows.append(
+            (
+                name,
+                baseline,
+                quale.latency,
+                qpos.latency,
+                qspr.latency,
+                qspr.improvement_over(quale),
+                bench.paper_improvement_pct,
+            )
+        )
+
+    print(
+        format_comparison_table(
+            "Execution latency (us) of the QECC encoders, by mapper",
+            [
+                "circuit",
+                "baseline",
+                "QUALE",
+                "QPOS",
+                "QSPR",
+                "improv. vs QUALE (%)",
+                "paper improv. (%)",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

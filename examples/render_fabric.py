@@ -1,0 +1,47 @@
+"""Render the 45x85 ion-trap fabric (the paper's Figure 4) as ASCII art.
+
+Run with::
+
+    python examples/render_fabric.py [--small]
+
+``J`` marks a junction, ``C`` a channel cell and ``T`` a trap; blanks are
+empty fabric locations.  With ``--small`` the script renders a compact fabric
+instead and overlays a center placement of the [[5,1,3]] benchmark's qubits
+so the placement logic is visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import qecc_encoder, quale_fabric, small_fabric
+from repro.fabric.grid import cell_counts
+from repro.placement import CenterPlacer
+from repro.viz import render_fabric, render_placement
+from repro.viz.fabric_ascii import fabric_legend
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="render a small fabric instead")
+    args = parser.parse_args()
+
+    if args.small:
+        fabric = small_fabric(junction_rows=4, junction_cols=6)
+        circuit = qecc_encoder("[[5,1,3]]")
+        placement = CenterPlacer(fabric).place(circuit)
+        print(f"{fabric} with a center placement of {circuit.name}")
+        print(render_placement(fabric, placement))
+    else:
+        fabric = quale_fabric()
+        print(fabric)
+        print(render_fabric(fabric))
+
+    print(fabric_legend())
+    counts = cell_counts(fabric)
+    summary = ", ".join(f"{kind.name.lower()}: {count}" for kind, count in counts.items())
+    print(f"cell counts: {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs work on environments whose ``pip``/``setuptools``
+cannot build editable wheels (e.g. offline machines without the ``wheel``
+package): ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

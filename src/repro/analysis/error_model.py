@@ -1,0 +1,85 @@
+"""Decoherence-driven error model.
+
+The paper's motivation (Section I) is that reducing the execution latency of
+a mapped circuit reduces the amount of environmental noise the computation
+absorbs, and hence the amount of error-correction overhead the synthesiser
+must add.  This module provides the simple exponential-decoherence model that
+quantifies that relationship: a qubit idling (or travelling) for time ``t``
+retains its state with probability ``exp(-t / T2)``.
+
+The model is intentionally simple — it is an analysis aid, not a claim of the
+paper — but it lets examples and reports translate latency improvements into
+estimated success-probability improvements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.mapper.result import MappingResult
+
+
+@dataclass(frozen=True)
+class DecoherenceModel:
+    """Exponential decoherence plus per-gate error.
+
+    Attributes:
+        t2_us: Coherence time (µs).  Trapped-ion memories are long-lived; the
+            default corresponds to a 1-second coherence time.
+        one_qubit_gate_error: Depolarising error probability per 1-qubit gate.
+        two_qubit_gate_error: Depolarising error probability per 2-qubit gate.
+        move_error: Error probability per single-cell move.
+        turn_error: Error probability per turn.
+    """
+
+    t2_us: float = 1_000_000.0
+    one_qubit_gate_error: float = 1e-5
+    two_qubit_gate_error: float = 1e-3
+    move_error: float = 1e-6
+    turn_error: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.t2_us <= 0:
+            raise ReproError("T2 must be positive")
+        for name in ("one_qubit_gate_error", "two_qubit_gate_error", "move_error", "turn_error"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ReproError(f"{name} must be a probability in [0, 1)")
+
+    def idle_fidelity(self, duration_us: float, num_qubits: int) -> float:
+        """Probability that ``num_qubits`` qubits survive ``duration_us`` idle time."""
+        if duration_us < 0:
+            raise ReproError("duration must be non-negative")
+        return math.exp(-duration_us * num_qubits / self.t2_us)
+
+    def success_probability(self, result: MappingResult) -> float:
+        """Estimated probability the mapped circuit finishes without error.
+
+        Combines decoherence over the full latency (every qubit is exposed for
+        the whole makespan), per-gate errors and per-relocation errors.
+        """
+        num_qubits = len(result.initial_placement)
+        fidelity = self.idle_fidelity(result.latency, num_qubits)
+        for record in result.records.values():
+            arity = 2 if record.gate_delay >= self.two_qubit_threshold else 1
+            gate_error = (
+                self.two_qubit_gate_error if arity == 2 else self.one_qubit_gate_error
+            )
+            fidelity *= 1.0 - gate_error
+        fidelity *= (1.0 - self.move_error) ** result.total_moves
+        fidelity *= (1.0 - self.turn_error) ** result.total_turns
+        return fidelity
+
+    @property
+    def two_qubit_threshold(self) -> float:
+        """Gate delay (µs) above which a record is counted as a 2-qubit gate."""
+        return 50.0
+
+
+def circuit_success_probability(
+    result: MappingResult, model: DecoherenceModel | None = None
+) -> float:
+    """Convenience wrapper: success probability of ``result`` under ``model``."""
+    return (model or DecoherenceModel()).success_probability(result)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's Table 1 and Table 2
+report; this module provides the small formatting helper those scripts use so
+their output stays aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class TextTable:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are converted with ``str`` (floats get 1 decimal)."""
+        formatted = [
+            f"{cell:.1f}" if isinstance(cell, float) else str(cell) for cell in cells
+        ]
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(formatted)}"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table with a separator line under the header."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        lines = [fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_comparison_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a titled comparison table (used by the benchmark scripts)."""
+    table = TextTable(headers)
+    for row in rows:
+        table.add_row(*row)
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{table.render()}\n"

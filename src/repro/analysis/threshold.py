@@ -1,0 +1,113 @@
+"""Error-threshold feedback analysis.
+
+The paper's introduction describes the loop between the synthesiser and the
+mapper: the synthesiser adds quantum error correction assuming some error
+threshold, but "it cannot determine the circuit error before mapping, since
+it is unaware of total latency of the circuit"; after mapping, an error
+analysis decides whether the realised latency keeps the circuit below the
+threshold, and if not the circuit "needs more encoding".
+
+This module implements that post-mapping check: given a mapped result, a
+decoherence model and a target success probability, it reports whether the
+mapping meets the target, how much latency headroom remains and (when the
+target is missed) by how much the latency would have to shrink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.error_model import DecoherenceModel
+from repro.errors import ReproError
+from repro.mapper.result import MappingResult
+
+
+@dataclass(frozen=True)
+class ThresholdReport:
+    """Outcome of the post-mapping error-threshold check.
+
+    Attributes:
+        circuit_name: Name of the analysed circuit.
+        latency: Mapped execution latency (µs).
+        success_probability: Estimated success probability of the mapping.
+        target_success_probability: The threshold the synthesiser assumed.
+        meets_threshold: Whether the mapping satisfies the target.
+        latency_budget: Largest latency (µs) that would still meet the target
+            under the same gate/relocation error counts.
+        latency_margin: ``latency_budget - latency``; negative when the
+            mapping misses the target and must shrink by that amount (or the
+            circuit must be re-synthesised with stronger encoding, as the
+            paper describes).
+    """
+
+    circuit_name: str
+    latency: float
+    success_probability: float
+    target_success_probability: float
+    meets_threshold: bool
+    latency_budget: float
+    latency_margin: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        verdict = "meets" if self.meets_threshold else "MISSES"
+        return (
+            f"{self.circuit_name}: success probability "
+            f"{self.success_probability:.4f} vs target "
+            f"{self.target_success_probability:.4f} -> {verdict} the threshold; "
+            f"latency {self.latency:.0f} us vs budget {self.latency_budget:.0f} us "
+            f"(margin {self.latency_margin:+.0f} us)"
+        )
+
+
+def check_error_threshold(
+    result: MappingResult,
+    *,
+    target_success_probability: float = 0.99,
+    model: DecoherenceModel | None = None,
+) -> ThresholdReport:
+    """Check a mapped circuit against an error threshold.
+
+    Args:
+        result: The mapping to analyse.
+        target_success_probability: Minimum acceptable success probability
+            (the complement of the error threshold).
+        model: Decoherence/error model; defaults to :class:`DecoherenceModel`.
+
+    Returns:
+        A :class:`ThresholdReport`.
+
+    Raises:
+        ReproError: If the target probability is not in (0, 1).
+    """
+    if not 0.0 < target_success_probability < 1.0:
+        raise ReproError("target_success_probability must be in (0, 1)")
+    model = model or DecoherenceModel()
+    probability = model.success_probability(result)
+
+    # Separate the latency-dependent decoherence factor from the
+    # latency-independent gate/relocation factor so the latency budget can be
+    # solved in closed form: probability = gate_factor * exp(-latency*n/T2).
+    num_qubits = len(result.initial_placement)
+    decoherence = model.idle_fidelity(result.latency, num_qubits)
+    gate_factor = probability / decoherence if decoherence > 0 else 0.0
+    if gate_factor <= 0 or target_success_probability >= gate_factor:
+        # Even a zero-latency mapping cannot meet the target: the budget is 0.
+        latency_budget = 0.0
+    else:
+        latency_budget = (
+            -math.log(target_success_probability / gate_factor)
+            * model.t2_us
+            / max(1, num_qubits)
+        )
+
+    return ThresholdReport(
+        circuit_name=result.circuit_name,
+        latency=result.latency,
+        success_probability=probability,
+        target_success_probability=target_success_probability,
+        meets_threshold=probability >= target_success_probability,
+        latency_budget=latency_budget,
+        latency_margin=latency_budget - result.latency,
+    )

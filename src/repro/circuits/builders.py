@@ -1,0 +1,73 @@
+"""Convenience circuit constructors used by examples, tests and workloads.
+
+These are not part of the paper's benchmark suite but exercise the same code
+paths with easily-understood interaction patterns:
+
+* :func:`ghz_circuit` — a star-shaped interaction pattern (one hub qubit).
+* :func:`ripple_chain_circuit` — a nearest-neighbour chain, the most
+  sequential pattern possible.
+* :func:`qft_like_circuit` — an all-to-all controlled-phase pattern, the most
+  congested pattern possible.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build an ``num_qubits``-qubit GHZ preparation circuit.
+
+    One Hadamard on the hub qubit followed by a CNOT from the hub to every
+    other qubit.  All two-qubit gates share the hub, so the circuit is fully
+    sequential and its ideal latency grows linearly with ``num_qubits``.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a GHZ circuit needs at least 2 qubits")
+    circuit = QuantumCircuit(f"ghz_{num_qubits}")
+    qubits = circuit.add_qubits(num_qubits, initial_value=0)
+    circuit.h(qubits[0])
+    for target in qubits[1:]:
+        circuit.cx(qubits[0], target)
+    return circuit
+
+
+def ripple_chain_circuit(num_qubits: int, *, rounds: int = 1) -> QuantumCircuit:
+    """Build a nearest-neighbour CNOT chain repeated ``rounds`` times.
+
+    Qubit ``i`` controls qubit ``i+1``; every gate depends on the previous
+    one, so the circuit has no instruction-level parallelism at all.  Useful
+    as a worst-case for schedulers and a best-case for placement locality.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a ripple chain needs at least 2 qubits")
+    if rounds < 1:
+        raise CircuitError("rounds must be positive")
+    circuit = QuantumCircuit(f"ripple_{num_qubits}x{rounds}")
+    qubits = circuit.add_qubits(num_qubits, initial_value=0)
+    circuit.h(qubits[0])
+    for _ in range(rounds):
+        for i in range(num_qubits - 1):
+            circuit.cx(qubits[i], qubits[i + 1])
+    return circuit
+
+
+def qft_like_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build a QFT-style interaction pattern on ``num_qubits`` qubits.
+
+    For every qubit ``i``: a Hadamard followed by controlled-Z gates from all
+    later qubits ``j > i``.  The two-qubit interaction graph is complete,
+    which maximises routing pressure and congestion on the fabric.  Gate
+    semantics (controlled phase angles) are irrelevant to the mapper, so
+    plain ``C-Z`` gates are used.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a QFT-like circuit needs at least 2 qubits")
+    circuit = QuantumCircuit(f"qft_like_{num_qubits}")
+    qubits = circuit.add_qubits(num_qubits)
+    for i in range(num_qubits):
+        circuit.h(qubits[i])
+        for j in range(i + 1, num_qubits):
+            circuit.cz(qubits[j], qubits[i])
+    return circuit

@@ -1,0 +1,62 @@
+"""Random circuit generation for stress tests and property-based testing.
+
+The generator is deterministic for a given seed, which keeps test failures
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+#: Single-qubit gates eligible for random selection.
+_ONE_QUBIT_GATES = ("H", "X", "Y", "Z", "S", "T")
+#: Two-qubit gates eligible for random selection.
+_TWO_QUBIT_GATES = ("C-X", "C-Y", "C-Z")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    *,
+    two_qubit_fraction: float = 0.6,
+    seed: int = 0,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Generate a random circuit with a controlled two-qubit gate fraction.
+
+    Args:
+        num_qubits: Number of qubits to declare (all initialised to 0).
+        num_gates: Number of gate instructions to emit.
+        two_qubit_fraction: Probability that an instruction is a two-qubit
+            gate (requires ``num_qubits >= 2``).
+        seed: Seed of the private random generator.
+        name: Optional circuit name.
+
+    Returns:
+        A :class:`QuantumCircuit` with exactly ``num_gates`` instructions.
+
+    Raises:
+        CircuitError: On invalid parameters.
+    """
+    if num_qubits < 1:
+        raise CircuitError("num_qubits must be positive")
+    if num_gates < 0:
+        raise CircuitError("num_gates must be non-negative")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise CircuitError("two_qubit_fraction must be within [0, 1]")
+    if two_qubit_fraction > 0 and num_qubits < 2:
+        raise CircuitError("two-qubit gates need at least 2 qubits")
+
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(name or f"random_{num_qubits}q_{num_gates}g_s{seed}")
+    qubits = circuit.add_qubits(num_qubits, initial_value=0)
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < two_qubit_fraction:
+            control, target = rng.sample(qubits, 2)
+            circuit.append(rng.choice(_TWO_QUBIT_GATES), control, target)
+        else:
+            circuit.append(rng.choice(_ONE_QUBIT_GATES), rng.choice(qubits))
+    return circuit

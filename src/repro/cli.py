@@ -1,0 +1,142 @@
+"""Command-line interface: ``qspr-map``.
+
+Maps a QASM file (or one of the built-in QECC benchmarks) onto an ion-trap
+fabric and prints the resulting latency, a comparison against the ideal
+baseline and (optionally) the control trace.
+
+Examples::
+
+    qspr-map --benchmark "[[5,1,3]]"
+    qspr-map circuit.qasm --mapper quale --fabric-rows 12 --fabric-cols 22
+    qspr-map --benchmark "[[9,1,3]]" --seeds 5 --show-trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.metrics import latency_breakdown
+from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.errors import ReproError
+from repro.fabric.builder import FabricSpec, build_fabric, quale_fabric
+from repro.mapper.options import MapperOptions, PlacerKind
+from repro.mapper.qpos import QposMapper
+from repro.mapper.qspr import QsprMapper
+from repro.mapper.quale import QualeMapper
+from repro.qasm.parser import parse_qasm_file
+from repro.viz.trace_render import render_gantt
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="qspr-map",
+        description="Map a quantum circuit onto an ion-trap fabric and report its latency.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("qasm", nargs="?", help="path to a QASM file")
+    source.add_argument(
+        "--benchmark",
+        choices=list(BENCHMARK_NAMES),
+        help="use one of the paper's QECC benchmark circuits",
+    )
+    parser.add_argument(
+        "--mapper",
+        choices=["qspr", "quale", "qpos"],
+        default="qspr",
+        help="which mapper to run (default: qspr)",
+    )
+    parser.add_argument(
+        "--placer",
+        choices=[kind.value for kind in PlacerKind],
+        default=PlacerKind.MVFB.value,
+        help="placement algorithm for the QSPR mapper (default: mvfb)",
+    )
+    parser.add_argument("--seeds", type=int, default=5, help="MVFB random seeds m (default: 5)")
+    parser.add_argument(
+        "--placements",
+        type=int,
+        default=None,
+        help="Monte-Carlo placement runs m' (required with --placer monte-carlo)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    parser.add_argument(
+        "--fabric-rows", type=int, default=12, help="junction rows of the fabric (default: 12)"
+    )
+    parser.add_argument(
+        "--fabric-cols", type=int, default=22, help="junction columns of the fabric (default: 22)"
+    )
+    parser.add_argument(
+        "--channel-length", type=int, default=3, help="channel length in cells (default: 3)"
+    )
+    parser.add_argument("--show-trace", action="store_true", help="print a per-qubit Gantt chart")
+    return parser
+
+
+def _load_circuit(args: argparse.Namespace):
+    if args.benchmark:
+        return qecc_encoder(args.benchmark)
+    path = Path(args.qasm)
+    if not path.exists():
+        raise ReproError(f"QASM file not found: {path}")
+    return parse_qasm_file(path)
+
+
+def _build_fabric(args: argparse.Namespace):
+    if (args.fabric_rows, args.fabric_cols, args.channel_length) == (12, 22, 3):
+        return quale_fabric()
+    return build_fabric(
+        FabricSpec(
+            name=f"cli-{args.fabric_rows}x{args.fabric_cols}",
+            junction_rows=args.fabric_rows,
+            junction_cols=args.fabric_cols,
+            channel_length=args.channel_length,
+        )
+    )
+
+
+def _build_mapper(args: argparse.Namespace):
+    if args.mapper == "quale":
+        return QualeMapper()
+    if args.mapper == "qpos":
+        return QposMapper()
+    options = MapperOptions(
+        placer=PlacerKind(args.placer),
+        num_seeds=args.seeds,
+        num_placements=args.placements,
+        random_seed=args.seed,
+    )
+    return QsprMapper(options)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``qspr-map`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        circuit = _load_circuit(args)
+        fabric = _build_fabric(args)
+        mapper = _build_mapper(args)
+        result = mapper.map(circuit, fabric)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.summary())
+    breakdown = latency_breakdown(result)
+    print(
+        f"  routing share     : {100 * breakdown.routing_share:.1f}% of summed instruction delay"
+    )
+    print(
+        f"  congestion share  : {100 * breakdown.congestion_share:.1f}% of summed instruction delay"
+    )
+    if args.show_trace:
+        print()
+        print(render_gantt(result.trace))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

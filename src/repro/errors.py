@@ -1,0 +1,59 @@
+"""Exception hierarchy for the QSPR reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses exist
+for each pipeline stage (parsing, circuit construction, fabric modelling,
+placement, routing, scheduling and simulation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class QasmError(ReproError):
+    """Raised when a QASM program cannot be lexed or parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CircuitError(ReproError):
+    """Raised when a quantum circuit is constructed or used incorrectly."""
+
+
+class FabricError(ReproError):
+    """Raised when an ion-trap fabric description is invalid."""
+
+
+class PlacementError(ReproError):
+    """Raised when qubits cannot be placed on the fabric."""
+
+
+class RoutingError(ReproError):
+    """Raised when the router encounters an unrecoverable situation."""
+
+
+class UnroutableError(RoutingError):
+    """Raised when no finite-weight path exists between two fabric sites.
+
+    The scheduler normally catches this and parks the instruction in the busy
+    queue; it only propagates when the fabric is permanently disconnected.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler reaches an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """Raised when the event-driven simulator reaches an inconsistent state."""
+
+
+class MappingError(ReproError):
+    """Raised when an end-to-end mapping run cannot produce a result."""

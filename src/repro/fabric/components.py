@@ -1,0 +1,129 @@
+"""Fabric components: junctions, channels and traps.
+
+All components are immutable; mutable state (which qubits currently occupy a
+channel or trap) is kept by the congestion tracker and the simulator so that
+a single :class:`~repro.fabric.fabric.Fabric` instance can be shared by many
+concurrent mapping runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FabricError
+from repro.fabric.geometry import Coord, Orientation
+
+#: Identifier of a junction: its (row, column) in the junction lattice.
+JunctionId = tuple[int, int]
+#: Identifier of a channel: ``("h"|"v", lattice_row, lattice_col)`` of its
+#: north/west endpoint.
+ChannelId = tuple[str, int, int]
+#: Identifier of a trap: a dense integer index.
+TrapId = int
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A junction connecting horizontal and vertical channels.
+
+    Attributes:
+        id: Lattice coordinates ``(row, col)`` of the junction.
+        cell: Cell-grid coordinates of the junction cell.
+    """
+
+    id: JunctionId
+    cell: Coord
+
+    def __str__(self) -> str:
+        return f"J{self.id}"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A straight channel of one or more cells connecting two junctions.
+
+    Attributes:
+        id: Channel identifier (orientation marker plus the lattice position
+            of its north/west endpoint).
+        orientation: Horizontal or vertical.
+        endpoint_a: Lattice id of the north/west endpoint junction.
+        endpoint_b: Lattice id of the south/east endpoint junction.
+        length: Number of channel cells strictly between the two junction
+            cells (at least 1).
+        cells: Cell-grid coordinates of the channel cells, ordered from
+            ``endpoint_a`` to ``endpoint_b``.
+    """
+
+    id: ChannelId
+    orientation: Orientation
+    endpoint_a: JunctionId
+    endpoint_b: JunctionId
+    length: int
+    cells: tuple[Coord, ...]
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise FabricError(f"channel {self.id} must have positive length")
+        if len(self.cells) != self.length:
+            raise FabricError(
+                f"channel {self.id}: expected {self.length} cells, got {len(self.cells)}"
+            )
+
+    @property
+    def endpoints(self) -> tuple[JunctionId, JunctionId]:
+        """Both endpoint junction ids, ``(a, b)``."""
+        return (self.endpoint_a, self.endpoint_b)
+
+    def other_endpoint(self, junction: JunctionId) -> JunctionId:
+        """The endpoint opposite to ``junction``.
+
+        Raises:
+            FabricError: If ``junction`` is not an endpoint of this channel.
+        """
+        if junction == self.endpoint_a:
+            return self.endpoint_b
+        if junction == self.endpoint_b:
+            return self.endpoint_a
+        raise FabricError(f"junction {junction} is not an endpoint of channel {self.id}")
+
+    def distance_from_endpoint(self, junction: JunctionId, offset: int) -> int:
+        """Cells travelled from ``junction`` to the channel cell at ``offset``.
+
+        ``offset`` is 1-based from ``endpoint_a``: the cell adjacent to
+        ``endpoint_a`` has offset 1 and the cell adjacent to ``endpoint_b``
+        has offset ``length``.
+        """
+        if not 1 <= offset <= self.length:
+            raise FabricError(
+                f"offset {offset} outside channel {self.id} of length {self.length}"
+            )
+        if junction == self.endpoint_a:
+            return offset
+        if junction == self.endpoint_b:
+            return self.length + 1 - offset
+        raise FabricError(f"junction {junction} is not an endpoint of channel {self.id}")
+
+    def __str__(self) -> str:
+        marker = "H" if self.orientation is Orientation.HORIZONTAL else "V"
+        return f"C{marker}{self.id[1:]}"
+
+
+@dataclass(frozen=True)
+class Trap:
+    """A trap site attached to a channel, where gate operations take place.
+
+    Attributes:
+        id: Dense integer identifier.
+        channel_id: The channel the trap is attached to.
+        offset: 1-based offset of the adjacent channel cell along the channel
+            (measured from the channel's ``endpoint_a``).
+        cell: Cell-grid coordinates of the trap cell itself.
+    """
+
+    id: TrapId
+    channel_id: ChannelId
+    offset: int
+    cell: Coord
+
+    def __str__(self) -> str:
+        return f"T{self.id}@{self.cell}"

@@ -1,0 +1,71 @@
+"""Cell-grid rendering of a fabric (Figure 4 style).
+
+The paper's Figure 4 shows the fabric as a grid of cells marked ``J``
+(junction), ``C`` (channel) and ``T`` (trap), with blanks for empty
+locations.  :func:`render_cell_grid` reproduces that representation from a
+:class:`~repro.fabric.fabric.Fabric`; it is used by the visualisation module
+and by the Figure 4 benchmark.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import FabricError
+from repro.fabric.fabric import Fabric
+
+
+class CellType(str, Enum):
+    """Kinds of cells of the rendered grid."""
+
+    EMPTY = " "
+    JUNCTION = "J"
+    CHANNEL = "C"
+    TRAP = "T"
+
+
+def render_cell_grid(fabric: Fabric) -> list[list[CellType]]:
+    """Render ``fabric`` into a 2D list of :class:`CellType`.
+
+    Returns:
+        A ``fabric.cell_rows`` × ``fabric.cell_cols`` matrix.
+
+    Raises:
+        FabricError: If two components claim the same cell (which indicates a
+            bug in the fabric builder).
+    """
+    grid = [
+        [CellType.EMPTY for _ in range(fabric.cell_cols)] for _ in range(fabric.cell_rows)
+    ]
+
+    def put(cell: tuple[int, int], value: CellType) -> None:
+        row, col = cell
+        if not (0 <= row < fabric.cell_rows and 0 <= col < fabric.cell_cols):
+            raise FabricError(f"cell {cell} outside the {fabric.cell_rows}x{fabric.cell_cols} grid")
+        if grid[row][col] is not CellType.EMPTY:
+            raise FabricError(f"cell {cell} claimed by two components")
+        grid[row][col] = value
+
+    for junction in fabric.junctions.values():
+        put(junction.cell, CellType.JUNCTION)
+    for channel in fabric.channels.values():
+        for cell in channel.cells:
+            put(cell, CellType.CHANNEL)
+    for trap in fabric.traps.values():
+        put(trap.cell, CellType.TRAP)
+    return grid
+
+
+def grid_to_text(grid: list[list[CellType]]) -> str:
+    """Serialise a rendered grid to text, one row per line."""
+    return "\n".join("".join(cell.value for cell in row) for row in grid)
+
+
+def cell_counts(fabric: Fabric) -> dict[CellType, int]:
+    """Count cells of each type in the rendering of ``fabric``."""
+    grid = render_cell_grid(fabric)
+    counts = {cell_type: 0 for cell_type in CellType}
+    for row in grid:
+        for cell in row:
+            counts[cell] += 1
+    return counts

@@ -1,0 +1,85 @@
+"""Serialisation of fabric specifications.
+
+Fabrics built by :class:`~repro.fabric.builder.FabricBuilder` are fully
+described by their :class:`~repro.fabric.builder.FabricSpec`; persisting the
+spec (rather than the expanded component lists) keeps files small and
+human-editable.  The JSON schema is versioned for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import FabricError
+from repro.fabric.builder import FabricSpec, build_fabric
+from repro.fabric.fabric import Fabric
+
+#: Current schema version of the JSON representation.
+SCHEMA_VERSION = 1
+
+_REQUIRED_FIELDS = (
+    "name",
+    "junction_rows",
+    "junction_cols",
+    "channel_length",
+    "traps_per_channel",
+)
+
+
+def fabric_spec_to_json(spec: FabricSpec) -> str:
+    """Serialise a :class:`FabricSpec` to a JSON string."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": spec.name,
+        "junction_rows": spec.junction_rows,
+        "junction_cols": spec.junction_cols,
+        "channel_length": spec.channel_length,
+        "traps_per_channel": spec.traps_per_channel,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def fabric_spec_from_json(text: str) -> FabricSpec:
+    """Parse a :class:`FabricSpec` from a JSON string.
+
+    Raises:
+        FabricError: If the document is malformed, has an unsupported schema
+            version or is missing required fields.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FabricError(f"invalid fabric JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FabricError("fabric JSON must be an object")
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise FabricError(f"unsupported fabric schema version {version}")
+    missing = [field for field in _REQUIRED_FIELDS if field not in payload]
+    if missing:
+        raise FabricError(f"fabric JSON missing fields: {', '.join(missing)}")
+    return FabricSpec(
+        name=str(payload["name"]),
+        junction_rows=int(payload["junction_rows"]),
+        junction_cols=int(payload["junction_cols"]),
+        channel_length=int(payload["channel_length"]),
+        traps_per_channel=int(payload["traps_per_channel"]),
+    )
+
+
+def save_fabric_spec(spec: FabricSpec, path: str | Path) -> Path:
+    """Write a fabric spec to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(fabric_spec_to_json(spec) + "\n")
+    return path
+
+
+def load_fabric_spec(path: str | Path) -> FabricSpec:
+    """Read a fabric spec from ``path``."""
+    return fabric_spec_from_json(Path(path).read_text())
+
+
+def load_fabric(path: str | Path) -> Fabric:
+    """Read a fabric spec from ``path`` and build the fabric."""
+    return build_fabric(load_fabric_spec(path))

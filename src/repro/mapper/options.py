@@ -1,0 +1,107 @@
+"""Configuration of a mapping run.
+
+:class:`MapperOptions` gathers every knob the paper's experiments vary:
+technology parameters, routing features (turn awareness, dual-operand
+movement, channel capacity), the scheduling priority policy and the placer
+(MVFB, Monte-Carlo or plain center placement).  The presets used by the
+concrete mappers live next to the mappers themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.errors import MappingError
+from repro.routing.router import MeetingPoint, RoutingPolicy
+from repro.scheduling.priority import PriorityPolicy
+from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
+
+
+class PlacerKind(Enum):
+    """Which placement algorithm a mapper uses."""
+
+    MVFB = "mvfb"
+    MONTE_CARLO = "monte-carlo"
+    CENTER = "center"
+
+
+@dataclass(frozen=True)
+class MapperOptions:
+    """All parameters of a mapping run.
+
+    Attributes:
+        technology: Physical machine description (delays, capacities).
+        priority_policy: Scheduling priority function.
+        barrier_scheduling: Schedule level-by-level (ALAP) before mapping, as
+            the prior tools do, instead of interleaving scheduling with
+            routing (QSPR).  Instructions of a level only issue after every
+            instruction of earlier levels finished.
+        turn_aware_routing: Model turns during path selection (QSPR feature).
+        meeting_point: How the meeting trap of a two-qubit gate is chosen —
+            median of the operands (QSPR), the destination operand's trap
+            (QPOS) or the free trap nearest the fabric center (QUALE).
+        channel_capacity: Channel capacity override; ``None`` uses the
+            technology's value (2 for the paper's QSPR, 1 for prior tools).
+        trap_candidates: Number of nearest-to-median traps the router tries.
+        placer: Placement algorithm.
+        num_seeds: MVFB's number of random seeds ``m``.
+        num_placements: Monte-Carlo's number of placement runs ``m'``
+            (required when ``placer`` is Monte-Carlo).
+        mvfb_patience: Consecutive non-improving runs that stop an MVFB seed.
+        mvfb_max_runs_per_seed: Hard cap on placement runs per MVFB seed.
+        random_seed: Seed for all randomised placement decisions.
+    """
+
+    technology: TechnologyParams = PAPER_TECHNOLOGY
+    priority_policy: PriorityPolicy = PriorityPolicy.QSPR
+    barrier_scheduling: bool = False
+    turn_aware_routing: bool = True
+    meeting_point: MeetingPoint = MeetingPoint.MEDIAN
+    channel_capacity: int | None = None
+    trap_candidates: int = 4
+    placer: PlacerKind = PlacerKind.MVFB
+    num_seeds: int = 25
+    num_placements: int | None = None
+    mvfb_patience: int = 3
+    mvfb_max_runs_per_seed: int = 40
+    random_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_seeds < 1:
+            raise MappingError("num_seeds must be at least 1")
+        if self.num_placements is not None and self.num_placements < 1:
+            raise MappingError("num_placements must be at least 1")
+        if self.channel_capacity is not None and self.channel_capacity < 1:
+            raise MappingError("channel_capacity must be at least 1")
+        if self.trap_candidates < 1:
+            raise MappingError("trap_candidates must be at least 1")
+
+    @property
+    def effective_channel_capacity(self) -> int:
+        """Channel capacity actually used by the router."""
+        if self.channel_capacity is not None:
+            return self.channel_capacity
+        return self.technology.channel_capacity
+
+    def routing_policy(self) -> RoutingPolicy:
+        """The :class:`RoutingPolicy` these options describe."""
+        return RoutingPolicy(
+            turn_aware=self.turn_aware_routing,
+            meeting_point=self.meeting_point,
+            channel_capacity=self.effective_channel_capacity,
+            trap_candidates=self.trap_candidates,
+        )
+
+    def with_placer(self, placer: PlacerKind, **changes) -> "MapperOptions":
+        """A copy of the options with a different placer (and other changes)."""
+        return replace(self, placer=placer, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        return (
+            f"placer={self.placer.value} priority={self.priority_policy.value} "
+            f"barriers={self.barrier_scheduling} turn_aware={self.turn_aware_routing} "
+            f"meeting={self.meeting_point.value} "
+            f"capacity={self.effective_channel_capacity} m={self.num_seeds}"
+        )

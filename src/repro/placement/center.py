@@ -1,0 +1,82 @@
+"""Center placement (QUALE's placer).
+
+Qubits are placed in the free traps closest to the center of the fabric.
+The method is independent of the circuit's dependency structure — which is
+exactly the weakness the paper's MVFB placer addresses — but it keeps the
+qubits tightly packed, so routing distances start out small.  Permuting the
+order in which qubits claim the central traps yields the random initial
+placements ("random center placements") used as seeds by both the
+Monte-Carlo baseline and MVFB.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import PlacementError
+from repro.fabric.fabric import Fabric
+from repro.placement.base import Placement
+
+
+def center_placement(
+    circuit: QuantumCircuit,
+    fabric: Fabric,
+    *,
+    qubit_order: Sequence[str] | None = None,
+) -> Placement:
+    """Place the circuit's qubits in the traps nearest to the fabric center.
+
+    Args:
+        circuit: The circuit whose qubits are placed.
+        fabric: The target fabric.
+        qubit_order: Order in which qubits claim the central traps; defaults
+            to declaration order.  Different orders yield different (but
+            equally central) placements.
+
+    Returns:
+        A placement assigning each qubit its own trap.
+
+    Raises:
+        PlacementError: If the fabric has fewer traps than the circuit has
+            qubits, or ``qubit_order`` is not a permutation of the circuit's
+            qubits.
+    """
+    names = [qubit.name for qubit in circuit.qubits]
+    if qubit_order is None:
+        order = list(names)
+    else:
+        order = list(qubit_order)
+        if sorted(order) != sorted(names):
+            raise PlacementError("qubit_order must be a permutation of the circuit's qubits")
+    traps = fabric.traps_near_center()
+    if len(traps) < len(order):
+        raise PlacementError(
+            f"fabric has {len(traps)} traps but the circuit needs {len(order)}"
+        )
+    return Placement({name: traps[i].id for i, name in enumerate(order)})
+
+
+class CenterPlacer:
+    """Object-style wrapper around :func:`center_placement`.
+
+    The :meth:`random_placement` helper draws a random permutation of the
+    qubit order, which is how both the Monte-Carlo placer and MVFB generate
+    their random seeds.
+    """
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def place(
+        self, circuit: QuantumCircuit, *, qubit_order: Sequence[str] | None = None
+    ) -> Placement:
+        """Deterministic center placement (see :func:`center_placement`)."""
+        return center_placement(circuit, self.fabric, qubit_order=qubit_order)
+
+    def random_placement(self, circuit: QuantumCircuit, rng: random.Random) -> Placement:
+        """A center placement with a randomly permuted qubit order."""
+        order = [qubit.name for qubit in circuit.qubits]
+        rng.shuffle(order)
+        return center_placement(circuit, self.fabric, qubit_order=order)

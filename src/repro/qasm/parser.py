@@ -1,0 +1,152 @@
+"""Parser for the QASM dialect.
+
+The parser is two-staged: :func:`parse_program` turns source text into a
+:class:`repro.qasm.ast.QasmProgram`, and :func:`parse_qasm` additionally
+converts the program into a :class:`repro.circuits.QuantumCircuit` (the object
+the rest of the mapper operates on).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import QasmError
+from repro.qasm.ast import (
+    GateStatement,
+    MeasureStatement,
+    QasmProgram,
+    QubitDeclaration,
+    Statement,
+)
+from repro.qasm.lexer import Token, TokenKind, tokenize_line
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.circuits.circuit import QuantumCircuit
+
+#: Keywords that start a qubit declaration.
+_QUBIT_KEYWORDS = {"QUBIT", "QREG"}
+#: Keywords that start a measurement.
+_MEASURE_KEYWORDS = {"MEASURE", "MEAS"}
+
+
+def _split_operands(tokens: list[Token], line: int) -> list[Token]:
+    """Validate comma placement and return the operand tokens in order."""
+    operands: list[Token] = []
+    expect_operand = True
+    for token in tokens:
+        if token.kind is TokenKind.COMMA:
+            if expect_operand:
+                raise QasmError("unexpected ','", line)
+            expect_operand = True
+        else:
+            if not expect_operand:
+                raise QasmError(f"missing ',' before {token.text!r}", line)
+            operands.append(token)
+            expect_operand = False
+    if expect_operand and operands:
+        raise QasmError("trailing ','", line)
+    return operands
+
+
+def _parse_statement(tokens: list[Token], line: int) -> Statement:
+    """Parse a single non-empty token list into a statement."""
+    head = tokens[0]
+    if head.kind is not TokenKind.IDENT:
+        raise QasmError(f"expected a keyword or gate name, got {head.text!r}", line)
+    mnemonic = head.text.upper()
+    operands = _split_operands(tokens[1:], line)
+
+    if mnemonic in _QUBIT_KEYWORDS:
+        if not operands:
+            raise QasmError("QUBIT requires a qubit name", line)
+        if len(operands) > 2:
+            raise QasmError("QUBIT accepts at most a name and an initial value", line)
+        name_token = operands[0]
+        if name_token.kind is not TokenKind.IDENT:
+            raise QasmError(f"invalid qubit name {name_token.text!r}", line)
+        initial: int | None = None
+        if len(operands) == 2:
+            value_token = operands[1]
+            if value_token.kind is not TokenKind.INTEGER:
+                raise QasmError(
+                    f"initial value must be an integer, got {value_token.text!r}", line
+                )
+            initial = value_token.value
+            if initial not in (0, 1):
+                raise QasmError("initial value must be 0 or 1", line)
+        return QubitDeclaration(name_token.text, initial, line)
+
+    if mnemonic in _MEASURE_KEYWORDS:
+        if len(operands) != 1 or operands[0].kind is not TokenKind.IDENT:
+            raise QasmError("MEASURE requires exactly one qubit operand", line)
+        return MeasureStatement(operands[0].text, line)
+
+    # Everything else is a gate application; arity is validated against the
+    # gate registry when the program is lowered to a circuit.
+    if not operands:
+        raise QasmError(f"gate {head.text!r} requires at least one operand", line)
+    names: list[str] = []
+    for operand in operands:
+        if operand.kind is not TokenKind.IDENT:
+            raise QasmError(f"invalid qubit operand {operand.text!r}", line)
+        names.append(operand.text)
+    return GateStatement(head.text.upper(), tuple(names), line)
+
+
+def parse_program(source: str) -> QasmProgram:
+    """Parse QASM source text into an AST without semantic checks.
+
+    Args:
+        source: Full QASM program text.
+
+    Returns:
+        The parsed :class:`QasmProgram`.
+
+    Raises:
+        QasmError: On any lexical or syntactic error.
+    """
+    program = QasmProgram()
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        tokens = tokenize_line(line, line_number)
+        if not tokens:
+            continue
+        program.statements.append(_parse_statement(tokens, line_number))
+    return program
+
+
+def parse_qasm(source: str, *, name: str = "circuit") -> "QuantumCircuit":
+    """Parse QASM source text into a :class:`QuantumCircuit`.
+
+    Qubits used by gates must have been declared by a prior ``QUBIT``
+    statement; gate names and arities are validated against the gate registry.
+
+    Args:
+        source: Full QASM program text.
+        name: Name given to the resulting circuit.
+
+    Returns:
+        The lowered :class:`QuantumCircuit`.
+
+    Raises:
+        QasmError: On syntax errors, unknown gates, arity mismatches or
+            references to undeclared qubits.
+    """
+    from repro.circuits.circuit import QuantumCircuit
+
+    program = parse_program(source)
+    return QuantumCircuit.from_program(program, name=name)
+
+
+def parse_qasm_file(path: str | Path, *, name: str | None = None) -> "QuantumCircuit":
+    """Parse a QASM file from disk into a :class:`QuantumCircuit`.
+
+    Args:
+        path: Path of the ``.qasm`` file.
+        name: Optional circuit name; defaults to the file stem.
+
+    Returns:
+        The lowered :class:`QuantumCircuit`.
+    """
+    path = Path(path)
+    return parse_qasm(path.read_text(), name=name or path.stem)

@@ -1,0 +1,125 @@
+"""Construction of the Quantum Instruction Dependency Graph.
+
+Nodes are instruction indices of the source circuit; an edge ``a -> b``
+states that instruction ``b`` reads a qubit last written/used by instruction
+``a``.  Qubit declarations are not part of the graph (they carry no delay);
+only gate and measurement instructions appear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import networkx as nx
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.errors import CircuitError
+
+
+class QIDG:
+    """Dependency graph over the instructions of a circuit.
+
+    The class is a thin, read-only wrapper around a :class:`networkx.DiGraph`
+    that keeps a reference to the originating circuit and provides the
+    traversal helpers the scheduler and placers need.
+    """
+
+    def __init__(self, circuit: QuantumCircuit, graph: nx.DiGraph) -> None:
+        self._circuit = circuit
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The circuit this graph was built from."""
+        return self._circuit
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph (instruction indices as nodes)."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of instructions in the graph."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dependency edges."""
+        return self._graph.number_of_edges()
+
+    def instruction(self, index: int) -> Instruction:
+        """Return the :class:`Instruction` for node ``index``."""
+        try:
+            return self._graph.nodes[index]["instruction"]
+        except KeyError as exc:
+            raise CircuitError(f"instruction {index} is not part of the QIDG") from exc
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over instructions in program order."""
+        for index in sorted(self._graph.nodes):
+            yield self.instruction(index)
+
+    def predecessors(self, index: int) -> list[int]:
+        """Indices of instructions ``index`` directly depends on."""
+        return sorted(self._graph.predecessors(index))
+
+    def successors(self, index: int) -> list[int]:
+        """Indices of instructions that directly depend on ``index``."""
+        return sorted(self._graph.successors(index))
+
+    def sources(self) -> list[int]:
+        """Instructions with no dependencies (ready at time zero)."""
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def sinks(self) -> list[int]:
+        """Instructions nothing depends on (the circuit outputs)."""
+        return sorted(n for n in self._graph.nodes if self._graph.out_degree(n) == 0)
+
+    def topological_order(self) -> list[int]:
+        """A deterministic topological order (program order is one)."""
+        return sorted(self._graph.nodes)
+
+    def is_valid_order(self, order: list[int]) -> bool:
+        """Whether ``order`` is a topological order of the graph.
+
+        Used to validate externally supplied schedules (e.g. the reversed
+        schedule of the MVFB backward pass against the UIDG).
+        """
+        if sorted(order) != sorted(self._graph.nodes):
+            return False
+        position = {node: i for i, node in enumerate(order)}
+        return all(position[a] < position[b] for a, b in self._graph.edges)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return f"QIDG(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def build_qidg(circuit: QuantumCircuit) -> QIDG:
+    """Build the QIDG of ``circuit``.
+
+    Edges connect each instruction to the *previous* instruction acting on
+    each of its operand qubits, which yields the transitive reduction of the
+    full data-dependence relation.
+
+    Raises:
+        CircuitError: If the circuit has no instructions.
+    """
+    if circuit.num_instructions == 0:
+        raise CircuitError("cannot build a QIDG for an empty circuit")
+    graph = nx.DiGraph()
+    last_use: dict[str, int] = {}
+    for instruction in circuit.instructions:
+        graph.add_node(instruction.index, instruction=instruction)
+        for qubit in instruction.qubits:
+            previous = last_use.get(qubit.name)
+            if previous is not None:
+                graph.add_edge(previous, instruction.index, qubit=qubit.name)
+            last_use[qubit.name] = instruction.index
+    return QIDG(circuit, graph)

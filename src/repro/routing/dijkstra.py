@@ -1,0 +1,127 @@
+"""Multi-source, multi-target Dijkstra over the routing graph.
+
+Routes start and end at trap sites which sit part-way along a channel, so a
+route query attaches *virtual* start costs to the routing-graph nodes at the
+source channel's endpoints and *virtual* completion costs to the target
+channel's endpoints.  The search then runs an ordinary Dijkstra over the
+static graph with congestion-dependent edge weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.routing.graph_model import GraphEdge, Node, RoutingGraph
+
+#: Signature of the edge weight callback.
+WeightFunction = Callable[[GraphEdge], float]
+
+
+@dataclass(frozen=True)
+class DijkstraResult:
+    """Result of a shortest-route query.
+
+    Attributes:
+        cost: Total cost including the virtual entry and completion costs.
+        entry_node: The routing-graph node the route enters the graph at.
+        exit_node: The routing-graph node the route leaves the graph at.
+        edges: The traversed edges, in order (empty when the entry node is
+            also the exit node).
+    """
+
+    cost: float
+    entry_node: Node
+    exit_node: Node
+    edges: tuple[GraphEdge, ...]
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether a usable route was found."""
+        return math.isfinite(self.cost)
+
+
+def shortest_route(
+    graph: RoutingGraph,
+    sources: Mapping[Node, float],
+    targets: Mapping[Node, float],
+    weight: WeightFunction,
+) -> DijkstraResult | None:
+    """Find the cheapest route from any source node to any target node.
+
+    Args:
+        graph: The routing graph.
+        sources: Entry nodes mapped to the cost of reaching them from the
+            source trap (exit moves/turn plus partial channel traversal).
+        targets: Exit nodes mapped to the cost of completing the route from
+            them to the target trap.
+        weight: Callback producing the weight of each edge; may return
+            ``math.inf`` for unusable edges.
+
+    Returns:
+        The cheapest :class:`DijkstraResult`, or ``None`` when every route has
+        infinite cost (all entry/completion costs or all connecting paths are
+        blocked by congestion).
+    """
+    finite_sources = {node: cost for node, cost in sources.items() if math.isfinite(cost)}
+    finite_targets = {node: cost for node, cost in targets.items() if math.isfinite(cost)}
+    if not finite_sources or not finite_targets:
+        return None
+
+    best: dict[Node, float] = {}
+    origin: dict[Node, Node] = {}
+    parent_edge: dict[Node, GraphEdge | None] = {}
+    heap: list[tuple[float, int, Node]] = []
+    counter = 0
+    for node, cost in finite_sources.items():
+        if cost < best.get(node, math.inf):
+            best[node] = cost
+            origin[node] = node
+            parent_edge[node] = None
+            heapq.heappush(heap, (cost, counter, node))
+            counter += 1
+
+    settled: set[Node] = set()
+    best_total = math.inf
+    best_exit: Node | None = None
+
+    while heap:
+        cost, _, node = heapq.heappop(heap)
+        if node in settled or cost > best.get(node, math.inf):
+            continue
+        settled.add(node)
+        completion = finite_targets.get(node)
+        if completion is not None and cost + completion < best_total:
+            best_total = cost + completion
+            best_exit = node
+        # Once the cheapest settled node already exceeds the best complete
+        # route, no better completion can exist.
+        if cost >= best_total:
+            break
+        for edge in graph.edges_from(node):
+            edge_cost = weight(edge)
+            if not math.isfinite(edge_cost):
+                continue
+            candidate = cost + edge_cost
+            if candidate < best.get(edge.target, math.inf):
+                best[edge.target] = candidate
+                origin[edge.target] = origin[node]
+                parent_edge[edge.target] = edge
+                heapq.heappush(heap, (candidate, counter, edge.target))
+                counter += 1
+
+    if best_exit is None or not math.isfinite(best_total):
+        return None
+
+    edges: list[GraphEdge] = []
+    node = best_exit
+    while True:
+        edge = parent_edge[node]
+        if edge is None:
+            break
+        edges.append(edge)
+        node = edge.source
+    edges.reverse()
+    return DijkstraResult(best_total, origin[best_exit], best_exit, tuple(edges))

@@ -1,0 +1,395 @@
+"""The router: plans the journeys of an instruction's operand qubits.
+
+Given the current placement of qubits, the current channel congestion and a
+routing policy, :class:`Router` produces an :class:`InstructionRoute` — the
+chosen meeting trap plus a timed :class:`~repro.routing.path.RoutePlan` for
+every operand that has to move — or ``None`` when the instruction cannot be
+routed right now (the scheduler then parks it in the busy queue, which is
+where the paper's ``T_congestion`` comes from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.circuits.circuit import Instruction
+from repro.errors import RoutingError
+from repro.fabric.components import ChannelId, Trap, TrapId
+from repro.fabric.fabric import Fabric
+from repro.routing.congestion import CongestionTracker
+from repro.routing.dijkstra import shortest_route
+from repro.routing.graph_model import GraphEdge, Node, RoutingGraph
+from repro.routing.path import RoutePlan, expand_route, stationary_plan
+from repro.routing.trap_selection import select_target_trap
+from repro.routing.weights import edge_weight, partial_channel_weight
+from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
+
+
+class MeetingPoint(Enum):
+    """How the trap hosting a two-qubit gate is chosen.
+
+    * ``MEDIAN`` — QSPR: the free trap nearest the median of the two operand
+      positions; both operands move toward it simultaneously.
+    * ``DESTINATION`` — QPOS: the destination (target) operand stays in its
+      trap and only the source operand travels.
+    * ``CENTER`` — gates execute in the free trap nearest the center of the
+      fabric; both operands travel there.  Requires channel capacity of at
+      least 2 (both operands must enter the meeting trap's channel).
+    """
+
+    MEDIAN = "median"
+    DESTINATION = "destination"
+    CENTER = "center"
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """Feature switches distinguishing QSPR from the prior-art routers.
+
+    Attributes:
+        turn_aware: Use the split-node graph and charge ``T_turn`` during path
+            selection (QSPR).  When false, path selection ignores turns, as in
+            QUALE/QPOS (turns are still charged in the realised delay).
+        meeting_point: How the gate trap of a two-qubit instruction is chosen
+            (see :class:`MeetingPoint`).
+        channel_capacity: Maximum concurrent qubits per channel (2 for QSPR's
+            multiplexed channels, 1 for the prior tools).
+        trap_candidates: How many candidate meeting traps the router tries
+            before declaring the instruction unroutable.
+    """
+
+    turn_aware: bool = True
+    meeting_point: MeetingPoint = MeetingPoint.MEDIAN
+    channel_capacity: int = 2
+    trap_candidates: int = 4
+
+    def __post_init__(self) -> None:
+        if self.channel_capacity < 1:
+            raise RoutingError("channel_capacity must be at least 1")
+        if self.trap_candidates < 1:
+            raise RoutingError("trap_candidates must be at least 1")
+
+    @property
+    def move_both_operands(self) -> bool:
+        """Whether both operands travel to the meeting trap."""
+        return self.meeting_point is not MeetingPoint.DESTINATION
+
+
+#: The configuration the paper uses for QSPR.
+QSPR_POLICY = RoutingPolicy()
+#: The configuration approximating QUALE routing.
+QUALE_POLICY = RoutingPolicy(
+    turn_aware=False,
+    meeting_point=MeetingPoint.DESTINATION,
+    channel_capacity=1,
+    trap_candidates=1,
+)
+#: The configuration approximating QPOS routing.
+QPOS_POLICY = RoutingPolicy(
+    turn_aware=False,
+    meeting_point=MeetingPoint.DESTINATION,
+    channel_capacity=1,
+    trap_candidates=1,
+)
+
+
+@dataclass(frozen=True)
+class InstructionRoute:
+    """The routing decision for one instruction.
+
+    Attributes:
+        instruction_index: Index of the routed instruction.
+        target_trap: Trap where the gate will be executed.
+        plans: One plan per operand qubit (stationary operands included).
+        channels: Every channel the simulator must reserve at issue time.
+            For parallel routes this carries multiplicity (one entry per plan
+            using the channel); for serial routes it is de-duplicated, since
+            the operands traverse shared channels one after the other.
+        serial: Whether the operands travel one after the other (used on
+            capacity-1 fabrics, where they can never share a channel).
+    """
+
+    instruction_index: int
+    target_trap: TrapId
+    plans: tuple[RoutePlan, ...]
+    channels: tuple[ChannelId, ...] = field(default_factory=tuple)
+    serial: bool = False
+
+    @property
+    def routing_delay(self) -> float:
+        """Realised ``T_routing``.
+
+        The travel time of the slowest operand when both move concurrently,
+        or the sum of travel times when the movement is serialised.
+        """
+        if self.serial:
+            return sum(plan.duration for plan in self.plans)
+        return max((plan.duration for plan in self.plans), default=0.0)
+
+    def plan_start_offsets(self) -> tuple[float, ...]:
+        """Start time of each plan relative to the instruction's issue time."""
+        if not self.serial:
+            return tuple(0.0 for _ in self.plans)
+        offsets: list[float] = []
+        clock = 0.0
+        for plan in self.plans:
+            offsets.append(clock)
+            clock += plan.duration
+        return tuple(offsets)
+
+    @property
+    def total_moves(self) -> int:
+        """Total moves over all operands."""
+        return sum(plan.total_moves for plan in self.plans)
+
+    @property
+    def total_turns(self) -> int:
+        """Total turns over all operands."""
+        return sum(plan.total_turns for plan in self.plans)
+
+
+class Router:
+    """Plans operand journeys under a given routing policy."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        technology: TechnologyParams = PAPER_TECHNOLOGY,
+        policy: RoutingPolicy = QSPR_POLICY,
+    ) -> None:
+        self.fabric = fabric
+        self.technology = technology
+        self.policy = policy
+        self.graph = RoutingGraph(fabric, turn_aware=policy.turn_aware)
+
+    # ------------------------------------------------------------------
+    # Single-qubit route planning
+    # ------------------------------------------------------------------
+    def _trap_access_cost(self) -> float:
+        """Selection cost of leaving or entering a trap (one move, one turn)."""
+        return self.technology.move_delay + self.technology.turn_delay
+
+    def _attachment_costs(
+        self, trap: Trap, congestion: CongestionTracker
+    ) -> dict[Node, float]:
+        """Virtual costs from/to ``trap`` at its channel's endpoint nodes."""
+        channel = self.fabric.channel(trap.channel_id)
+        occupancy = congestion.occupancy(channel.id)
+        costs: dict[Node, float] = {}
+        for endpoint_node in self.graph.channel_endpoints(channel.id):
+            junction_id = endpoint_node[0]
+            cells = channel.distance_from_endpoint(junction_id, trap.offset)
+            travel = partial_channel_weight(
+                occupancy, cells, congestion.channel_capacity, self.technology
+            )
+            costs[endpoint_node] = self._trap_access_cost() + travel
+        return costs
+
+    def plan_qubit_route(
+        self,
+        qubit: str,
+        source_trap_id: TrapId,
+        target_trap_id: TrapId,
+        congestion: CongestionTracker,
+    ) -> RoutePlan | None:
+        """Plan the journey of one qubit between two traps.
+
+        Returns ``None`` when no finite-cost route exists under the current
+        congestion (the caller decides whether to retry later).
+        """
+        if source_trap_id == target_trap_id:
+            return stationary_plan(qubit, source_trap_id)
+        source = self.fabric.trap(source_trap_id)
+        target = self.fabric.trap(target_trap_id)
+
+        if source.channel_id == target.channel_id:
+            if congestion.is_full(source.channel_id):
+                return None
+            return expand_route(
+                self.fabric, self.technology, qubit, source, target, None, ()
+            )
+
+        if congestion.is_full(source.channel_id) or congestion.is_full(target.channel_id):
+            return None
+
+        sources = self._attachment_costs(source, congestion)
+        targets = self._attachment_costs(target, congestion)
+        result = shortest_route(
+            self.graph,
+            sources,
+            targets,
+            lambda edge: edge_weight(
+                edge,
+                congestion,
+                self.technology,
+                turn_aware_costing=self.policy.turn_aware,
+            ),
+        )
+        if result is None:
+            return None
+        entry_junction = result.entry_node[0]
+        return expand_route(
+            self.fabric,
+            self.technology,
+            qubit,
+            source,
+            target,
+            entry_junction,
+            result.edges,
+        )
+
+    # ------------------------------------------------------------------
+    # Instruction-level planning
+    # ------------------------------------------------------------------
+    def plan_instruction(
+        self,
+        instruction: Instruction,
+        positions: dict[str, TrapId],
+        congestion: CongestionTracker,
+        *,
+        occupied_traps: Iterable[TrapId] = (),
+    ) -> InstructionRoute | None:
+        """Plan the meeting trap and operand journeys of ``instruction``.
+
+        Args:
+            instruction: The instruction to route.  Single-qubit instructions
+                execute in place and always succeed.
+            positions: Current resting trap of every qubit.
+            congestion: Current channel occupancy.
+            occupied_traps: Traps that cannot be chosen as the meeting trap
+                (resting qubits of other instructions, or traps reserved by
+                in-flight instructions).
+
+        Returns:
+            The routing decision, or ``None`` when the instruction cannot be
+            routed under the current congestion state.
+        """
+        operand_names = [qubit.name for qubit in instruction.qubits]
+        for name in operand_names:
+            if name not in positions:
+                raise RoutingError(f"qubit {name!r} has no placement")
+
+        if not instruction.is_two_qubit:
+            trap_id = positions[operand_names[0]]
+            plan = stationary_plan(operand_names[0], trap_id)
+            return InstructionRoute(instruction.index, trap_id, (plan,))
+
+        source_name, dest_name = operand_names
+        source_trap = positions[source_name]
+        dest_trap = positions[dest_name]
+
+        if self.policy.meeting_point is MeetingPoint.DESTINATION:
+            # The destination qubit stays put (QPOS/QUALE behaviour) unless its
+            # trap already hosts a qubit that is not part of this instruction,
+            # in which case meeting there would exceed the trap capacity; the
+            # gate then happens in the nearest free trap to the destination.
+            occupied = set(occupied_traps)
+            if dest_trap not in occupied:
+                candidates = [self.fabric.trap(dest_trap)]
+            else:
+                dest_cell = self.fabric.trap(dest_trap).cell
+                candidates = []
+                for trap in self.fabric.traps_by_distance(dest_cell):
+                    if trap.id not in occupied:
+                        candidates.append(trap)
+                        if len(candidates) >= max(2, self.policy.trap_candidates):
+                            break
+        elif self.policy.meeting_point is MeetingPoint.CENTER:
+            excluded = set(occupied_traps)
+            candidates = [
+                trap
+                for trap in self.fabric.traps_near_center()
+                if trap.id not in excluded
+            ][: self.policy.trap_candidates]
+        else:
+            candidates = select_target_trap(
+                self.fabric,
+                [source_trap, dest_trap],
+                occupied=occupied_traps,
+                max_candidates=self.policy.trap_candidates,
+            )
+
+        if self.policy.meeting_point is not MeetingPoint.DESTINATION:
+            # Fallback candidates: meet at an operand's own trap, so only the
+            # other operand travels.  This keeps dual-operand policies live on
+            # capacity-1 fabrics, where two qubits can never share the meeting
+            # trap's channel simultaneously.
+            occupied = set(occupied_traps)
+            seen = {candidate.id for candidate in candidates}
+            for trap_id in (dest_trap, source_trap):
+                if trap_id not in occupied and trap_id not in seen:
+                    candidates.append(self.fabric.trap(trap_id))
+                    seen.add(trap_id)
+
+        for candidate in candidates:
+            route = self._plan_to_candidate(
+                instruction, source_name, source_trap, dest_name, dest_trap,
+                candidate, congestion,
+            )
+            if route is not None:
+                return route
+        return None
+
+    def _plan_to_candidate(
+        self,
+        instruction: Instruction,
+        source_name: str,
+        source_trap: TrapId,
+        dest_name: str,
+        dest_trap: TrapId,
+        candidate: Trap,
+        congestion: CongestionTracker,
+    ) -> InstructionRoute | None:
+        """Try to route both operands to one candidate meeting trap."""
+        source_plan = self.plan_qubit_route(
+            source_name, source_trap, candidate.id, congestion
+        )
+        if source_plan is None:
+            return None
+
+        serial = self.policy.channel_capacity < 2
+        if serial:
+            # On a capacity-1 fabric the two operands can never share a
+            # channel concurrently, so they travel one after the other; their
+            # path selections therefore see the same congestion state and
+            # shared channels are reserved once.
+            dest_plan = self.plan_qubit_route(
+                dest_name, dest_trap, candidate.id, congestion
+            )
+            if dest_plan is None:
+                return None
+            plans = (source_plan, dest_plan)
+            channels = tuple(
+                dict.fromkeys(
+                    channel_id for plan in plans for channel_id in plan.channels_used
+                )
+            )
+            return InstructionRoute(
+                instruction.index, candidate.id, plans, channels, serial=True
+            )
+
+        # Parallel movement: temporarily account for the source qubit's
+        # reservations so the destination qubit's path selection sees the
+        # extra congestion and the pair never exceeds channel capacity.
+        reserved: list[ChannelId] = []
+        try:
+            for channel_id in source_plan.channels_used:
+                if congestion.is_full(channel_id):
+                    return None
+                congestion.reserve(channel_id)
+                reserved.append(channel_id)
+            dest_plan = self.plan_qubit_route(
+                dest_name, dest_trap, candidate.id, congestion
+            )
+        finally:
+            for channel_id in reversed(reserved):
+                congestion.release(channel_id)
+        if dest_plan is None:
+            return None
+        plans = (source_plan, dest_plan)
+        channels = tuple(
+            channel_id for plan in plans for channel_id in plan.channels_used
+        )
+        return InstructionRoute(instruction.index, candidate.id, plans, channels)

@@ -1,0 +1,27 @@
+"""Instruction scheduling: priorities, readiness tracking and the busy queue.
+
+The paper's scheduling problem is Minimum-Latency Resource-Constrained (MLRC)
+scheduling where the resources are channel/junction capacities and the
+instruction delays only become known after placement and routing.  The
+scheduler is therefore interleaved with the router inside the event-driven
+simulator (:mod:`repro.sim.engine`); this package provides the pieces the
+simulator composes:
+
+* :mod:`repro.scheduling.priority` — the priority functions of QSPR, QUALE,
+  QPOS and the QPOS variant of reference [5].
+* :mod:`repro.scheduling.ready` — dependency bookkeeping (which instructions
+  are ready to issue).
+* :mod:`repro.scheduling.busy_queue` — instructions that were ready but could
+  not be routed; they are retried when channel occupancy changes.
+"""
+
+from repro.scheduling.priority import PriorityPolicy, compute_priorities
+from repro.scheduling.ready import DependencyTracker
+from repro.scheduling.busy_queue import BusyQueue
+
+__all__ = [
+    "PriorityPolicy",
+    "compute_priorities",
+    "DependencyTracker",
+    "BusyQueue",
+]

@@ -1,0 +1,62 @@
+"""The busy queue: ready-but-unroutable instructions.
+
+When the router cannot find a finite-weight path for a ready instruction
+(all candidate channels are at capacity), the instruction is parked here and
+retried whenever the status of some channel changes (a qubit-exits-channel
+event).  The time an instruction spends in this queue is the paper's
+``T_congestion`` contribution to its delay (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+class BusyQueue:
+    """Set of parked instructions with the time they were first parked."""
+
+    def __init__(self) -> None:
+        self._parked: dict[int, float] = {}
+        self._total_entries = 0
+
+    def park(self, index: int, time: float) -> None:
+        """Add ``index`` to the queue at ``time`` (idempotent for re-parks)."""
+        if index not in self._parked:
+            self._parked[index] = time
+            self._total_entries += 1
+
+    def remove(self, index: int) -> float:
+        """Remove ``index`` and return the time it was parked.
+
+        Raises:
+            SchedulingError: If the instruction is not in the queue.
+        """
+        try:
+            return self._parked.pop(index)
+        except KeyError as exc:
+            raise SchedulingError(f"instruction {index} is not in the busy queue") from exc
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._parked
+
+    def __len__(self) -> int:
+        return len(self._parked)
+
+    def __bool__(self) -> bool:
+        return bool(self._parked)
+
+    @property
+    def instructions(self) -> list[int]:
+        """Parked instruction indices in park order."""
+        return list(self._parked)
+
+    @property
+    def total_entries(self) -> int:
+        """How many times any instruction has been parked (a congestion metric)."""
+        return self._total_entries
+
+    def parked_since(self, index: int) -> float:
+        """Time at which ``index`` was parked."""
+        if index not in self._parked:
+            raise SchedulingError(f"instruction {index} is not in the busy queue")
+        return self._parked[index]

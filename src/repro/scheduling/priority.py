@@ -1,0 +1,69 @@
+"""Scheduling priority functions.
+
+Higher priority values are issued first.  Four policies are provided,
+matching the tools discussed in the paper:
+
+* ``QSPR`` — the paper's policy (Section III): number of dependent operations
+  plus the longest delay path from the instruction to the end of the QIDG.
+* ``QUALE_ALAP`` — QUALE extracts instructions by traversing the QIDG
+  backward in an as-late-as-possible manner; instructions with the smallest
+  ALAP level (i.e. the least slack before they hold up the circuit) come
+  first.
+* ``QPOS_DEPENDENTS`` — QPOS issues in ASAP fashion with the initial priority
+  of an instruction set to the number of instructions that depend on it.
+* ``QPOS_PATH_DELAY`` — the tweak of reference [5]: the priority is the total
+  delay of the dependent instructions, i.e. the longest downstream path delay.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.qidg.analysis import alap_levels, descendant_counts, longest_path_to_sink
+from repro.qidg.graph import QIDG
+from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
+
+
+class PriorityPolicy(Enum):
+    """Available priority functions."""
+
+    QSPR = "qspr"
+    QUALE_ALAP = "quale-alap"
+    QPOS_DEPENDENTS = "qpos-dependents"
+    QPOS_PATH_DELAY = "qpos-path-delay"
+
+
+def compute_priorities(
+    qidg: QIDG,
+    policy: PriorityPolicy = PriorityPolicy.QSPR,
+    technology: TechnologyParams = PAPER_TECHNOLOGY,
+) -> dict[int, float]:
+    """Compute the static priority of every instruction under ``policy``.
+
+    Priorities only depend on the dependency graph and the gate delays, so
+    they are computed once per mapping run.  Ties are broken by the simulator
+    in favour of lower instruction indices (program order), which keeps runs
+    deterministic.
+    """
+    if policy is PriorityPolicy.QSPR:
+        counts = descendant_counts(qidg)
+        paths = longest_path_to_sink(qidg, technology)
+        return {node: counts[node] + paths[node] for node in qidg.graph.nodes}
+    if policy is PriorityPolicy.QUALE_ALAP:
+        levels = alap_levels(qidg)
+        return {node: -float(level) for node, level in levels.items()}
+    if policy is PriorityPolicy.QPOS_DEPENDENTS:
+        return {node: float(count) for node, count in descendant_counts(qidg).items()}
+    if policy is PriorityPolicy.QPOS_PATH_DELAY:
+        paths = longest_path_to_sink(qidg, technology)
+        own_delay = {
+            node: technology.gate_delay(
+                qidg.instruction(node).arity,
+                is_measurement=qidg.instruction(node).is_measurement,
+            )
+            for node in qidg.graph.nodes
+        }
+        # "Total delay of dependent instructions": the downstream path delay,
+        # excluding the instruction's own delay.
+        return {node: paths[node] - own_delay[node] for node in qidg.graph.nodes}
+    raise ValueError(f"unknown priority policy: {policy!r}")

@@ -1,0 +1,32 @@
+"""Event-driven simulation of a circuit executing on an ion-trap fabric.
+
+The simulator is where scheduling, placement and routing meet: starting from
+an initial placement of qubits in traps, it issues ready instructions in
+priority (or forced-schedule) order, asks the router for operand journeys,
+reserves channel capacity, and advances time through two kinds of events —
+*an instruction finished executing* and *a qubit exited a channel* — exactly
+as described in Section IV.B of the paper.
+
+* :mod:`repro.sim.events` — event types and the event queue.
+* :mod:`repro.sim.microcode` — the micro-commands (moves, turns, gates) the
+  quantum system controller would issue.
+* :mod:`repro.sim.trace` — the control trace: an ordered log of micro-commands.
+* :mod:`repro.sim.engine` — the :class:`FabricSimulator` itself.
+"""
+
+from repro.sim.events import ChannelExited, EventQueue, GateFinished
+from repro.sim.microcode import CommandKind, MicroCommand
+from repro.sim.trace import ControlTrace
+from repro.sim.engine import FabricSimulator, InstructionRecord, SimulationOutcome
+
+__all__ = [
+    "EventQueue",
+    "GateFinished",
+    "ChannelExited",
+    "CommandKind",
+    "MicroCommand",
+    "ControlTrace",
+    "FabricSimulator",
+    "InstructionRecord",
+    "SimulationOutcome",
+]

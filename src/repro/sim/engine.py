@@ -1,0 +1,440 @@
+"""The event-driven fabric simulator.
+
+:class:`FabricSimulator` executes a circuit on a fabric starting from an
+initial placement.  It interleaves scheduling and routing exactly as the
+paper describes (Sections III and IV.B):
+
+1. Ready instructions (all QIDG predecessors completed) are considered in
+   priority order — or in a *forced* total order for MVFB backward passes.
+2. For each candidate the router plans the operand journeys under the current
+   congestion; if no finite route exists the instruction is parked in the
+   busy queue (its waiting time is the ``T_congestion`` of Eq. 1).
+3. Issued instructions reserve every channel on their routes; qubit-exits-
+   channel events release the reservations and trigger busy-queue retries;
+   instruction-finished events wake up dependent instructions.
+
+The outcome carries the total latency, the realised schedule, the final
+placement (needed by the MVFB placer), per-instruction timing records and the
+full micro-command trace.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.errors import SimulationError
+from repro.fabric.components import TrapId
+from repro.fabric.fabric import Fabric
+from repro.placement.base import Placement
+from repro.qidg.analysis import alap_levels
+from repro.qidg.graph import QIDG, build_qidg
+from repro.routing.congestion import CongestionTracker
+from repro.routing.path import RoutePlan
+from repro.routing.router import InstructionRoute, Router, RoutingPolicy, QSPR_POLICY
+from repro.scheduling.busy_queue import BusyQueue
+from repro.scheduling.priority import PriorityPolicy, compute_priorities
+from repro.scheduling.ready import DependencyTracker
+from repro.sim.events import ChannelExited, EventQueue, GateFinished
+from repro.sim.microcode import CommandKind, MicroCommand
+from repro.sim.trace import ControlTrace
+from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
+
+
+@dataclass
+class InstructionRecord:
+    """Timing record of one instruction (the terms of Eq. 1).
+
+    Attributes:
+        index: Instruction index.
+        ready_time: Time all dependencies had completed.
+        issue_time: Time the instruction was issued (routing started).
+        gate_start: Time the gate operation started (operands arrived).
+        finish_time: Time the gate operation completed.
+        target_trap: Trap the gate executed in.
+        routing_delay: ``T_routing`` — slowest operand's travel time.
+        congestion_delay: ``T_congestion`` — time spent waiting for routing
+            resources after becoming ready.
+        gate_delay: ``T_gate``.
+        moves: Total operand moves.
+        turns: Total operand turns.
+    """
+
+    index: int
+    ready_time: float = 0.0
+    issue_time: float = 0.0
+    gate_start: float = 0.0
+    finish_time: float = 0.0
+    target_trap: TrapId = -1
+    routing_delay: float = 0.0
+    congestion_delay: float = 0.0
+    gate_delay: float = 0.0
+    moves: int = 0
+    turns: int = 0
+
+    @property
+    def total_delay(self) -> float:
+        """Instruction delay per Eq. 1: gate + routing + congestion."""
+        return self.gate_delay + self.routing_delay + self.congestion_delay
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything a mapping pass produces.
+
+    Attributes:
+        latency: Completion time of the last instruction (the execution
+            latency the paper reports).
+        schedule: Instruction indices in issue order (the total order ``S``).
+        initial_placement: The placement the pass started from.
+        final_placement: Where each qubit rests after the last instruction
+            (the ``P'`` fed into the next MVFB pass).
+        records: Per-instruction timing records, keyed by instruction index.
+        trace: The micro-command control trace.
+        total_moves: Total qubit moves over the whole run.
+        total_turns: Total qubit turns over the whole run.
+        total_congestion_delay: Sum of all instructions' busy-queue waits.
+        busy_queue_entries: Number of times any instruction was parked.
+        cpu_seconds: Wall-clock time spent simulating.
+    """
+
+    latency: float
+    schedule: list[int]
+    initial_placement: Placement
+    final_placement: Placement
+    records: dict[int, InstructionRecord]
+    trace: ControlTrace
+    total_moves: int = 0
+    total_turns: int = 0
+    total_congestion_delay: float = 0.0
+    busy_queue_entries: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def total_routing_delay(self) -> float:
+        """Sum of all instructions' routing delays."""
+        return sum(record.routing_delay for record in self.records.values())
+
+
+class FabricSimulator:
+    """Simulates one mapping pass of a circuit on a fabric."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        fabric: Fabric,
+        technology: TechnologyParams = PAPER_TECHNOLOGY,
+        *,
+        routing_policy: RoutingPolicy = QSPR_POLICY,
+        priority_policy: PriorityPolicy = PriorityPolicy.QSPR,
+        forced_order: list[int] | None = None,
+        qidg: QIDG | None = None,
+        barrier_scheduling: bool = False,
+    ) -> None:
+        """Create a simulator.
+
+        Args:
+            circuit: The circuit to execute.
+            fabric: The fabric to execute it on.
+            technology: Delay and capacity parameters.
+            routing_policy: Router feature switches (QSPR vs legacy).
+            priority_policy: Scheduling priority function (ignored when a
+                ``forced_order`` is given).
+            forced_order: Optional total issue order (a permutation of the
+                instruction indices).  Used by MVFB backward passes, which
+                replay the reversed schedule of the preceding forward pass.
+            qidg: Optionally a pre-built QIDG of ``circuit`` (avoids
+                rebuilding it for every pass of an iterative placer).
+            barrier_scheduling: Model prior tools (QUALE) that compute a
+                level-by-level (ALAP) schedule *before* mapping: an
+                instruction only becomes eligible once every instruction of
+                earlier ALAP levels has finished, so routing never overlaps
+                across levels.  QSPR interleaves scheduling with routing and
+                leaves this off.
+        """
+        self.circuit = circuit
+        self.fabric = fabric
+        self.technology = technology
+        self.routing_policy = routing_policy
+        self.priority_policy = priority_policy
+        self.qidg = qidg if qidg is not None else build_qidg(circuit)
+        if forced_order is not None and not self.qidg.is_valid_order(forced_order):
+            raise SimulationError("forced_order is not a topological order of the QIDG")
+        self.forced_order = list(forced_order) if forced_order is not None else None
+        self.barrier_scheduling = barrier_scheduling
+        self.levels: dict[int, int] | None = (
+            alap_levels(self.qidg) if barrier_scheduling else None
+        )
+        self.router = Router(fabric, technology, routing_policy)
+        self.priorities = compute_priorities(self.qidg, priority_policy, technology)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, initial_placement: Placement) -> SimulationOutcome:
+        """Execute the circuit starting from ``initial_placement``."""
+        started = _time.perf_counter()
+        initial_placement.validate(self.circuit, self.fabric)
+
+        state = _RunState(self, initial_placement)
+        state.attempt_issue(0.0)
+        while state.events:
+            event_time, event = state.events.pop()
+            state.process_event(event_time, event)
+            # Drain all events that share this timestamp before re-issuing, so
+            # simultaneous channel exits are all visible to the router.
+            while state.events and state.events.peek_time() == event_time:
+                _, simultaneous = state.events.pop()
+                state.process_event(event_time, simultaneous)
+            state.attempt_issue(event_time)
+
+        if not state.deps.all_completed:
+            outstanding = state.deps.outstanding
+            raise SimulationError(
+                f"simulation stalled with {len(outstanding)} unfinished instructions: "
+                f"{outstanding[:10]}"
+            )
+
+        cpu_seconds = _time.perf_counter() - started
+        return state.build_outcome(cpu_seconds)
+
+
+class _RunState:
+    """Mutable state of one simulation run (internal)."""
+
+    def __init__(self, sim: FabricSimulator, initial_placement: Placement) -> None:
+        self.sim = sim
+        self.initial_placement = initial_placement
+        self.positions: dict[str, TrapId] = initial_placement.as_dict()
+        self.resting: dict[TrapId, set[str]] = {}
+        for qubit, trap in self.positions.items():
+            self.resting.setdefault(trap, set()).add(qubit)
+        self.in_flight: set[str] = set()
+        self.reserved_traps: set[TrapId] = set()
+        self.congestion = CongestionTracker(
+            sim.fabric, sim.routing_policy.channel_capacity
+        )
+        self.deps = DependencyTracker(sim.qidg)
+        self.busy = BusyQueue()
+        self.events = EventQueue()
+        self.trace = ControlTrace()
+        self.schedule: list[int] = []
+        self.records: dict[int, InstructionRecord] = {}
+        self.ready: set[int] = set(self.deps.initially_ready())
+        for index in self.ready:
+            self.records[index] = InstructionRecord(index=index, ready_time=0.0)
+        self.routes: dict[int, InstructionRoute] = {}
+        self.forced_position = 0
+        self.level_remaining: dict[int, int] = {}
+        if sim.levels is not None:
+            for level in sim.levels.values():
+                self.level_remaining[level] = self.level_remaining.get(level, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Issue logic
+    # ------------------------------------------------------------------
+    def _candidates(self) -> list[int]:
+        """Instructions eligible for issue, most preferred first."""
+        pool = set(self.ready) | set(self.busy.instructions)
+        if self.sim.forced_order is not None:
+            if self.forced_position >= len(self.sim.forced_order):
+                return []
+            head = self.sim.forced_order[self.forced_position]
+            return [head] if head in pool else []
+        if self.sim.levels is not None:
+            open_levels = [
+                level for level, remaining in self.level_remaining.items() if remaining > 0
+            ]
+            if open_levels:
+                current_level = min(open_levels)
+                pool = {
+                    index for index in pool if self.sim.levels[index] == current_level
+                }
+        return sorted(pool, key=lambda index: (-self.sim.priorities[index], index))
+
+    def _occupied_traps_for(self, instruction: Instruction) -> set[TrapId]:
+        """Traps the router must not pick as the meeting trap."""
+        operand_names = set(instruction.qubit_names)
+        occupied: set[TrapId] = set(self.reserved_traps)
+        for trap, qubits in self.resting.items():
+            if qubits - operand_names:
+                occupied.add(trap)
+        return occupied
+
+    def attempt_issue(self, now: float) -> None:
+        """Issue as many eligible instructions as the fabric state allows."""
+        while True:
+            issued_any = False
+            for index in self._candidates():
+                instruction = self.sim.qidg.instruction(index)
+                route = self.sim.router.plan_instruction(
+                    instruction,
+                    self.positions,
+                    self.congestion,
+                    occupied_traps=self._occupied_traps_for(instruction),
+                )
+                if route is None:
+                    if index in self.ready:
+                        self.ready.discard(index)
+                        self.busy.park(index, now)
+                    if self.sim.forced_order is not None:
+                        # A forced schedule cannot skip its head instruction.
+                        return
+                    continue
+                self._issue(instruction, route, now)
+                issued_any = True
+                break
+            if not issued_any:
+                return
+
+    def _issue(self, instruction: Instruction, route: InstructionRoute, now: float) -> None:
+        index = instruction.index
+        self.ready.discard(index)
+        if index in self.busy:
+            self.busy.remove(index)
+        self.deps.mark_issued(index)
+        self.schedule.append(index)
+        if self.sim.forced_order is not None:
+            self.forced_position += 1
+
+        record = self.records.setdefault(index, InstructionRecord(index=index, ready_time=now))
+        record.issue_time = now
+        record.congestion_delay = max(0.0, now - record.ready_time)
+        record.target_trap = route.target_trap
+        record.routing_delay = route.routing_delay
+        record.gate_delay = self.sim.technology.gate_delay(
+            instruction.arity, is_measurement=instruction.is_measurement
+        )
+        record.moves = route.total_moves
+        record.turns = route.total_turns
+        record.gate_start = now + route.routing_delay
+        record.finish_time = record.gate_start + record.gate_delay
+        self.routes[index] = route
+
+        # Reserve routing resources and the meeting trap.
+        self.congestion.reserve_all(list(route.channels))
+        self.reserved_traps.add(route.target_trap)
+
+        # Operands leave their traps and become in-flight.
+        offsets = route.plan_start_offsets()
+        channel_exits: dict = {}
+        for plan, offset in zip(route.plans, offsets):
+            qubit = plan.qubit
+            origin = self.positions[qubit]
+            residents = self.resting.get(origin)
+            if residents is not None:
+                residents.discard(qubit)
+                if not residents:
+                    del self.resting[origin]
+            self.in_flight.add(qubit)
+            for channel_id, exit_time in plan.channel_exit_times(now + offset):
+                if route.serial:
+                    # Shared channels are reserved once; release them when the
+                    # last operand leaves.
+                    key = channel_id
+                    previous = channel_exits.get(key)
+                    if previous is None or exit_time > previous[1]:
+                        channel_exits[key] = (qubit, exit_time)
+                else:
+                    self.events.push(exit_time, ChannelExited(qubit, channel_id))
+            self._emit_plan_commands(plan, now + offset, index)
+        for channel_id, (qubit, exit_time) in channel_exits.items():
+            self.events.push(exit_time, ChannelExited(qubit, channel_id))
+
+        gate_qubits = tuple(instruction.qubit_names)
+        self.trace.add(
+            MicroCommand(
+                CommandKind.GATE,
+                record.gate_start,
+                record.gate_delay,
+                gate_qubits,
+                f"trap {route.target_trap}",
+                index,
+                instruction.gate.name,
+            )
+        )
+        self.events.push(record.finish_time, GateFinished(index, route.target_trap))
+
+    def _emit_plan_commands(self, plan: RoutePlan, start: float, index: int) -> None:
+        clock = start
+        for step in plan.steps:
+            if step.moves:
+                self.trace.add(
+                    MicroCommand(
+                        CommandKind.MOVE,
+                        clock,
+                        step.moves * self.sim.technology.move_delay,
+                        (plan.qubit,),
+                        _resource_name(step),
+                        index,
+                        f"{step.moves} cells",
+                    )
+                )
+            if step.turns:
+                self.trace.add(
+                    MicroCommand(
+                        CommandKind.TURN,
+                        clock + step.moves * self.sim.technology.move_delay,
+                        step.turns * self.sim.technology.turn_delay,
+                        (plan.qubit,),
+                        _resource_name(step),
+                        index,
+                        f"{step.turns} turn(s)",
+                    )
+                )
+            clock += step.duration
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def process_event(self, now: float, event: GateFinished | ChannelExited) -> None:
+        if isinstance(event, ChannelExited):
+            self.congestion.release(event.channel_id)
+            return
+        # GateFinished
+        index = event.instruction_index
+        route = self.routes[index]
+        for plan in route.plans:
+            qubit = plan.qubit
+            self.in_flight.discard(qubit)
+            self.positions[qubit] = route.target_trap
+            self.resting.setdefault(route.target_trap, set()).add(qubit)
+        self.reserved_traps.discard(route.target_trap)
+        if self.sim.levels is not None:
+            self.level_remaining[self.sim.levels[index]] -= 1
+        for newly_ready in self.deps.mark_completed(index):
+            self.ready.add(newly_ready)
+            self.records[newly_ready] = InstructionRecord(index=newly_ready, ready_time=now)
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+    def build_outcome(self, cpu_seconds: float) -> SimulationOutcome:
+        latency = max(
+            (record.finish_time for record in self.records.values()), default=0.0
+        )
+        final_placement = Placement(
+            {qubit: trap for qubit, trap in self.positions.items()}
+        )
+        return SimulationOutcome(
+            latency=latency,
+            schedule=self.schedule,
+            initial_placement=self.initial_placement,
+            final_placement=final_placement,
+            records=self.records,
+            trace=self.trace,
+            total_moves=sum(record.moves for record in self.records.values()),
+            total_turns=sum(record.turns for record in self.records.values()),
+            total_congestion_delay=sum(
+                record.congestion_delay for record in self.records.values()
+            ),
+            busy_queue_entries=self.busy.total_entries,
+            cpu_seconds=cpu_seconds,
+        )
+
+
+def _resource_name(step) -> str:
+    if step.channel_id is not None:
+        return f"channel {step.channel_id}"
+    return f"junction {step.junction_id}"

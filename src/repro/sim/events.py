@@ -1,0 +1,80 @@
+"""Simulation events and the time-ordered event queue.
+
+Two event types drive the simulation (paper Section IV.B):
+
+* :class:`GateFinished` — execution of an instruction finished; its dependent
+  instructions may become ready.
+* :class:`ChannelExited` — a qubit left a channel; the channel's congestion
+  weight drops and busy-queued instructions are retried.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.fabric.components import ChannelId
+
+
+@dataclass(frozen=True)
+class GateFinished:
+    """Execution of instruction ``instruction_index`` finished in ``trap_id``."""
+
+    instruction_index: int
+    trap_id: int
+
+
+@dataclass(frozen=True)
+class ChannelExited:
+    """Qubit ``qubit`` left channel ``channel_id``."""
+
+    qubit: str
+    channel_id: ChannelId
+
+
+Event = GateFinished | ChannelExited
+
+
+class EventQueue:
+    """A time-ordered queue of simulation events.
+
+    Events at equal times are delivered in insertion order, which keeps the
+    simulation deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    def push(self, time: float, event: Event) -> None:
+        """Schedule ``event`` at ``time``.
+
+        Raises:
+            SimulationError: If ``time`` is negative.
+        """
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        heapq.heappush(self._heap, (time, self._counter, event))
+        self._counter += 1
+
+    def pop(self) -> tuple[float, Event]:
+        """Remove and return the earliest event as ``(time, event)``.
+
+        Raises:
+            SimulationError: If the queue is empty.
+        """
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        time, _, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

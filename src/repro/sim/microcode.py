@@ -1,0 +1,59 @@
+"""Micro-commands issued by the quantum system controller.
+
+The outcome of mapping is, besides the latency number, a *control trace*: the
+sequence of low-level commands (qubit moves, turns and gate operations, each
+with a start time and duration) that the physical machine controller would
+issue to execute the circuit.  :class:`MicroCommand` is one entry of that
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CommandKind(Enum):
+    """Kinds of micro-commands."""
+
+    MOVE = "move"
+    TURN = "turn"
+    GATE = "gate"
+
+
+@dataclass(frozen=True)
+class MicroCommand:
+    """One controller command.
+
+    Attributes:
+        kind: Move, turn or gate operation.
+        start: Start time in microseconds.
+        duration: Duration in microseconds.
+        qubits: Qubits involved (one for moves/turns, one or two for gates).
+        resource: A printable identifier of the fabric resource involved — the
+            channel being traversed, the junction turned in, or the trap the
+            gate executes in.
+        instruction_index: Index of the circuit instruction this command
+            belongs to.
+        detail: Free-form detail (gate mnemonic, number of cells moved, ...).
+    """
+
+    kind: CommandKind
+    start: float
+    duration: float
+    qubits: tuple[str, ...]
+    resource: str
+    instruction_index: int
+    detail: str = ""
+
+    @property
+    def end(self) -> float:
+        """Completion time of the command."""
+        return self.start + self.duration
+
+    def __str__(self) -> str:
+        who = ",".join(self.qubits)
+        return (
+            f"[{self.start:10.1f} +{self.duration:7.1f}] {self.kind.value.upper():4s} "
+            f"{who:12s} @ {self.resource} {self.detail}"
+        )

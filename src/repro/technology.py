@@ -1,0 +1,111 @@
+"""Technology parameters of the ion-trap quantum circuit fabric.
+
+The paper (Section V.A) fixes the following physical machine description
+(PMD) parameters for all experiments:
+
+* ``T_move``  = 1 us   -- moving a qubit by one cell without changing direction
+* ``T_turn``  = 10 us  -- changing the movement direction at a junction
+* ``T_1q``    = 10 us  -- a one-qubit gate operation inside a trap
+* ``T_2q``    = 100 us -- a two-qubit gate operation inside a trap
+* channel capacity = 2 -- maximum number of qubits concurrently inside a
+  channel (or crossing a junction), enabled by ion multiplexing
+
+These are grouped in :class:`TechnologyParams` so that every component of the
+mapper (scheduler, router, simulator, placers) reads delays from a single
+place and alternative technologies can be explored by constructing a
+different instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Physical machine description of an ion-trap fabric.
+
+    All delays are expressed in microseconds, matching the paper.
+
+    Attributes:
+        move_delay: Delay of moving a qubit by one cell in a straight line.
+        turn_delay: Delay of changing direction at a junction.  The paper
+            notes a turn typically costs 5x-30x a move.
+        one_qubit_gate_delay: Delay of any single-qubit gate operation.
+        two_qubit_gate_delay: Delay of any two-qubit gate operation.
+        measure_delay: Delay of a measurement operation.  The paper's
+            benchmark circuits do not measure, so this defaults to the
+            one-qubit gate delay.
+        prepare_delay: Delay of initializing (``QUBIT``) a qubit.  Treated as
+            free because initialization happens before mapping starts.
+        channel_capacity: Maximum number of qubits concurrently travelling in
+            one channel.
+        junction_capacity: Maximum number of qubits concurrently crossing a
+            junction.  The paper designs junctions to match the channel
+            capacity.
+        trap_capacity: Number of qubits a trap can hold (two are required for
+            a two-qubit gate).
+    """
+
+    move_delay: float = 1.0
+    turn_delay: float = 10.0
+    one_qubit_gate_delay: float = 10.0
+    two_qubit_gate_delay: float = 100.0
+    measure_delay: float = 10.0
+    prepare_delay: float = 0.0
+    channel_capacity: int = 2
+    junction_capacity: int = 2
+    trap_capacity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.move_delay <= 0:
+            raise ValueError("move_delay must be positive")
+        if self.turn_delay < 0:
+            raise ValueError("turn_delay must be non-negative")
+        if self.one_qubit_gate_delay < 0 or self.two_qubit_gate_delay < 0:
+            raise ValueError("gate delays must be non-negative")
+        if self.measure_delay < 0 or self.prepare_delay < 0:
+            raise ValueError("measure/prepare delays must be non-negative")
+        if self.channel_capacity < 1:
+            raise ValueError("channel_capacity must be at least 1")
+        if self.junction_capacity < 1:
+            raise ValueError("junction_capacity must be at least 1")
+        if self.trap_capacity < 1:
+            raise ValueError("trap_capacity must be at least 1")
+
+    def gate_delay(self, arity: int, *, is_measurement: bool = False) -> float:
+        """Return the gate delay for an operation with ``arity`` operands.
+
+        Args:
+            arity: Number of qubit operands of the gate (1 or 2).
+            is_measurement: Whether the operation is a measurement.
+
+        Returns:
+            The technology delay in microseconds.
+
+        Raises:
+            ValueError: If ``arity`` is not 1 or 2.
+        """
+        if is_measurement:
+            return self.measure_delay
+        if arity == 1:
+            return self.one_qubit_gate_delay
+        if arity == 2:
+            return self.two_qubit_gate_delay
+        raise ValueError(f"unsupported gate arity: {arity}")
+
+    def with_channel_capacity(self, capacity: int) -> "TechnologyParams":
+        """Return a copy with a different channel (and junction) capacity."""
+        return replace(self, channel_capacity=capacity, junction_capacity=capacity)
+
+    def with_turn_delay(self, turn_delay: float) -> "TechnologyParams":
+        """Return a copy with a different turn delay."""
+        return replace(self, turn_delay=turn_delay)
+
+
+#: Parameters used throughout the paper's experimental section.
+PAPER_TECHNOLOGY = TechnologyParams()
+
+#: Parameters matching the prior-art tools (QUALE/QPOS): no ion multiplexing,
+#: i.e. at most one qubit per channel or junction at a time.
+LEGACY_TECHNOLOGY = TechnologyParams(channel_capacity=1, junction_capacity=1)

@@ -1,0 +1,59 @@
+"""ASCII rendering of fabrics and placements (Figure 4 style)."""
+
+from __future__ import annotations
+
+from repro.fabric.fabric import Fabric
+from repro.fabric.grid import CellType, render_cell_grid
+from repro.placement.base import Placement
+
+
+def render_fabric(fabric: Fabric, *, border: bool = True) -> str:
+    """Render ``fabric`` as a character grid (``J``/``C``/``T``/space).
+
+    Args:
+        fabric: The fabric to render.
+        border: Surround the grid with a simple frame so trailing blanks are
+            visible in terminals.
+    """
+    grid = render_cell_grid(fabric)
+    lines = ["".join(cell.value for cell in row) for row in grid]
+    if not border:
+        return "\n".join(lines)
+    width = fabric.cell_cols
+    top = "+" + "-" * width + "+"
+    framed = [top] + [f"|{line}|" for line in lines] + [top]
+    return "\n".join(framed)
+
+
+def render_placement(fabric: Fabric, placement: Placement, *, border: bool = True) -> str:
+    """Render the fabric with placed qubits overlaid.
+
+    Each occupied trap shows the last character of one resident qubit's name
+    (e.g. ``q12`` renders as ``2``); traps holding two qubits render ``*``.
+    """
+    grid = render_cell_grid(fabric)
+    lines = [[cell.value for cell in row] for row in grid]
+    sharing: dict[int, list[str]] = {}
+    for qubit, trap_id in placement:
+        sharing.setdefault(trap_id, []).append(qubit)
+    for trap_id, qubits in sharing.items():
+        row, col = fabric.trap(trap_id).cell
+        lines[row][col] = "*" if len(qubits) > 1 else qubits[0][-1]
+    rendered = ["".join(row) for row in lines]
+    if not border:
+        return "\n".join(rendered)
+    width = fabric.cell_cols
+    top = "+" + "-" * width + "+"
+    framed = [top] + [f"|{line}|" for line in rendered] + [top]
+    return "\n".join(framed)
+
+
+def fabric_legend() -> str:
+    """The legend accompanying fabric renderings."""
+    parts = [
+        f"{CellType.JUNCTION.value} = junction",
+        f"{CellType.CHANNEL.value} = channel",
+        f"{CellType.TRAP.value} = trap",
+        "blank = empty",
+    ]
+    return ", ".join(parts)

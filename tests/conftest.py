@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.builders import ghz_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qecc import five_one_three_paper_circuit, qecc_encoder
+from repro.fabric.builder import FabricSpec, build_fabric
+from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
+
+
+@pytest.fixture
+def technology() -> TechnologyParams:
+    """The paper's technology parameters."""
+    return PAPER_TECHNOLOGY
+
+
+@pytest.fixture
+def tiny_fabric():
+    """A 2x3-junction fabric: the smallest interesting topology."""
+    return build_fabric(
+        FabricSpec(name="tiny", junction_rows=2, junction_cols=3, channel_length=2)
+    )
+
+
+@pytest.fixture
+def small_fabric_4x4():
+    """A 4x4-junction fabric used by most routing/simulation tests."""
+    return build_fabric(
+        FabricSpec(name="small", junction_rows=4, junction_cols=4, channel_length=3)
+    )
+
+
+@pytest.fixture
+def paper_circuit() -> QuantumCircuit:
+    """The [[5,1,3]] encoder exactly as printed in the paper (Figure 3)."""
+    return five_one_three_paper_circuit()
+
+
+@pytest.fixture
+def calibrated_513() -> QuantumCircuit:
+    """The calibrated [[5,1,3]] benchmark reconstruction."""
+    return qecc_encoder("[[5,1,3]]")
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    """A 2-qubit Bell-pair circuit (H + CNOT)."""
+    circuit = QuantumCircuit("bell")
+    a = circuit.add_qubit("a", 0)
+    b = circuit.add_qubit("b", 0)
+    circuit.h(a)
+    circuit.cx(a, b)
+    return circuit
+
+
+@pytest.fixture
+def ghz5() -> QuantumCircuit:
+    """A 5-qubit GHZ circuit (fully sequential two-qubit gates)."""
+    return ghz_circuit(5)

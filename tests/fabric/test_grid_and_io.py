@@ -1,0 +1,87 @@
+"""Tests for the cell-grid rendering (Figure 4) and fabric spec I/O."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.builder import FabricSpec, build_fabric, quale_fabric
+from repro.fabric.grid import CellType, cell_counts, grid_to_text, render_cell_grid
+from repro.fabric.io import (
+    fabric_spec_from_json,
+    fabric_spec_to_json,
+    load_fabric,
+    load_fabric_spec,
+    save_fabric_spec,
+)
+
+
+class TestCellGrid:
+    def test_dimensions(self, small_fabric_4x4):
+        grid = render_cell_grid(small_fabric_4x4)
+        assert len(grid) == small_fabric_4x4.cell_rows
+        assert all(len(row) == small_fabric_4x4.cell_cols for row in grid)
+
+    def test_component_counts(self, small_fabric_4x4):
+        counts = cell_counts(small_fabric_4x4)
+        assert counts[CellType.JUNCTION] == len(small_fabric_4x4.junctions)
+        assert counts[CellType.TRAP] == small_fabric_4x4.num_traps
+        channel_cells = sum(c.length for c in small_fabric_4x4.channels.values())
+        assert counts[CellType.CHANNEL] == channel_cells
+
+    def test_quale_fabric_is_45_by_85(self):
+        grid = render_cell_grid(quale_fabric())
+        assert len(grid) == 45
+        assert len(grid[0]) == 85
+
+    def test_corners_are_junctions(self, small_fabric_4x4):
+        grid = render_cell_grid(small_fabric_4x4)
+        assert grid[0][0] is CellType.JUNCTION
+        assert grid[-1][-1] is CellType.JUNCTION
+
+    def test_text_rendering(self, tiny_fabric):
+        text = grid_to_text(render_cell_grid(tiny_fabric))
+        lines = text.splitlines()
+        assert len(lines) == tiny_fabric.cell_rows
+        assert lines[0].startswith("J")
+        assert "T" in text
+
+
+class TestFabricSpecIo:
+    def test_json_round_trip(self):
+        spec = FabricSpec(name="demo", junction_rows=3, junction_cols=5, channel_length=2)
+        assert fabric_spec_from_json(fabric_spec_to_json(spec)) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = FabricSpec(name="demo", junction_rows=3, junction_cols=4)
+        path = save_fabric_spec(spec, tmp_path / "fabric.json")
+        assert load_fabric_spec(path) == spec
+
+    def test_load_fabric_builds(self, tmp_path):
+        spec = FabricSpec(name="demo", junction_rows=2, junction_cols=3, channel_length=2)
+        path = save_fabric_spec(spec, tmp_path / "fabric.json")
+        fabric = load_fabric(path)
+        assert fabric.name == "demo"
+        assert fabric.cell_rows == spec.cell_rows
+
+    def test_invalid_json(self):
+        with pytest.raises(FabricError):
+            fabric_spec_from_json("not json at all {")
+
+    def test_non_object_json(self):
+        with pytest.raises(FabricError):
+            fabric_spec_from_json("[1, 2, 3]")
+
+    def test_missing_field(self):
+        with pytest.raises(FabricError):
+            fabric_spec_from_json('{"schema_version": 1, "name": "x"}')
+
+    def test_wrong_schema_version(self):
+        spec_json = fabric_spec_to_json(FabricSpec())
+        with pytest.raises(FabricError):
+            fabric_spec_from_json(spec_json.replace('"schema_version": 1', '"schema_version": 99'))
+
+    def test_rebuilt_fabric_matches_original(self):
+        spec = FabricSpec(junction_rows=3, junction_cols=3, channel_length=3)
+        first = build_fabric(spec)
+        second = build_fabric(fabric_spec_from_json(fabric_spec_to_json(spec)))
+        assert first.num_traps == second.num_traps
+        assert set(first.channels) == set(second.channels)

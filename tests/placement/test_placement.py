@@ -1,0 +1,166 @@
+"""Tests for the placement data structures and the three placers."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.base import Placement
+from repro.placement.center import CenterPlacer, center_placement
+from repro.placement.monte_carlo import MonteCarloPlacer
+from repro.placement.mvfb import MvfbPlacer
+from repro.qidg.graph import build_qidg
+from repro.qidg.uidg import reverse_schedule
+from repro.sim.engine import FabricSimulator
+from repro.technology import PAPER_TECHNOLOGY
+
+
+class TestPlacement:
+    def test_lookup(self):
+        placement = Placement({"a": 1, "b": 2})
+        assert placement.trap_of("a") == 1
+        assert placement.qubit_at(2) == "b"
+        assert placement.qubit_at(99) is None
+
+    def test_missing_qubit(self):
+        with pytest.raises(PlacementError):
+            Placement({}).trap_of("a")
+
+    def test_sharing(self):
+        placement = Placement({"a": 1, "b": 1, "c": 2})
+        assert placement.trap_sharing() == {1: 2, 2: 1}
+        assert sorted(placement.qubits_at(1)) == ["a", "b"]
+
+    def test_equality_and_hash(self):
+        assert Placement({"a": 1}) == Placement({"a": 1})
+        assert hash(Placement({"a": 1})) == hash(Placement({"a": 1}))
+        assert Placement({"a": 1}) != Placement({"a": 2})
+
+    def test_validate_against_circuit(self, bell_circuit, small_fabric_4x4):
+        Placement({"a": 0, "b": 1}).validate(bell_circuit, small_fabric_4x4)
+        with pytest.raises(PlacementError):
+            Placement({"a": 0}).validate(bell_circuit, small_fabric_4x4)
+        with pytest.raises(PlacementError):
+            Placement({"a": 0, "b": 1, "z": 2}).validate(bell_circuit, small_fabric_4x4)
+        with pytest.raises(PlacementError):
+            Placement({"a": 0, "b": 99999}).validate(bell_circuit, small_fabric_4x4)
+
+    def test_validate_trap_sharing_limit(self, bell_circuit, small_fabric_4x4):
+        shared = Placement({"a": 0, "b": 0})
+        shared.validate(bell_circuit, small_fabric_4x4)  # two per trap is fine
+        with pytest.raises(PlacementError):
+            shared.validate(bell_circuit, small_fabric_4x4, max_per_trap=1)
+
+
+class TestCenterPlacement:
+    def test_each_qubit_gets_own_trap(self, paper_circuit, small_fabric_4x4):
+        placement = center_placement(paper_circuit, small_fabric_4x4)
+        assert len(set(placement.traps)) == paper_circuit.num_qubits
+
+    def test_traps_are_the_most_central(self, paper_circuit, small_fabric_4x4):
+        placement = center_placement(paper_circuit, small_fabric_4x4)
+        central = [t.id for t in small_fabric_4x4.traps_near_center()[: paper_circuit.num_qubits]]
+        assert set(placement.traps) == set(central)
+
+    def test_custom_order(self, bell_circuit, small_fabric_4x4):
+        forward = center_placement(bell_circuit, small_fabric_4x4, qubit_order=["a", "b"])
+        swapped = center_placement(bell_circuit, small_fabric_4x4, qubit_order=["b", "a"])
+        assert forward.trap_of("a") == swapped.trap_of("b")
+
+    def test_order_must_be_permutation(self, bell_circuit, small_fabric_4x4):
+        with pytest.raises(PlacementError):
+            center_placement(bell_circuit, small_fabric_4x4, qubit_order=["a", "z"])
+
+    def test_too_many_qubits(self, tiny_fabric):
+        from repro.circuits.random_circuits import random_circuit
+
+        big = random_circuit(tiny_fabric.num_traps + 1, 0)
+        with pytest.raises(PlacementError):
+            center_placement(big, tiny_fabric)
+
+    def test_random_placement_is_center_permutation(self, paper_circuit, small_fabric_4x4):
+        import random
+
+        placer = CenterPlacer(small_fabric_4x4)
+        placement = placer.random_placement(paper_circuit, random.Random(3))
+        central = [t.id for t in small_fabric_4x4.traps_near_center()[: paper_circuit.num_qubits]]
+        assert set(placement.traps) == set(central)
+
+
+def _make_evaluators(circuit, fabric):
+    qidg = build_qidg(circuit)
+    forward_sim = FabricSimulator(circuit, fabric, PAPER_TECHNOLOGY, qidg=qidg)
+    inverse = circuit.inverse()
+    inverse_qidg = build_qidg(inverse)
+
+    def backward(placement, schedule):
+        order = reverse_schedule(schedule, circuit.num_instructions)
+        sim = FabricSimulator(
+            inverse, fabric, PAPER_TECHNOLOGY, forced_order=order, qidg=inverse_qidg
+        )
+        return sim.run(placement)
+
+    return forward_sim.run, backward
+
+
+class TestMonteCarloPlacer:
+    def test_best_of_runs(self, paper_circuit, small_fabric_4x4):
+        forward, _ = _make_evaluators(paper_circuit, small_fabric_4x4)
+        placer = MonteCarloPlacer(small_fabric_4x4, forward)
+        result = placer.run(paper_circuit, 5, seed=1)
+        assert result.num_runs == 5
+        assert result.best_latency == min(run.latency for run in result.runs)
+
+    def test_deterministic_for_seed(self, paper_circuit, small_fabric_4x4):
+        forward, _ = _make_evaluators(paper_circuit, small_fabric_4x4)
+        placer = MonteCarloPlacer(small_fabric_4x4, forward)
+        a = placer.run(paper_circuit, 3, seed=7)
+        b = placer.run(paper_circuit, 3, seed=7)
+        assert a.best_latency == b.best_latency
+
+    def test_needs_positive_runs(self, paper_circuit, small_fabric_4x4):
+        forward, _ = _make_evaluators(paper_circuit, small_fabric_4x4)
+        with pytest.raises(PlacementError):
+            MonteCarloPlacer(small_fabric_4x4, forward).run(paper_circuit, 0)
+
+
+class TestMvfbPlacer:
+    def test_runs_and_improves_or_matches_first_run(self, paper_circuit, small_fabric_4x4):
+        forward, backward = _make_evaluators(paper_circuit, small_fabric_4x4)
+        placer = MvfbPlacer(small_fabric_4x4, forward, backward)
+        result = placer.run(paper_circuit, 2, seed=0)
+        assert result.total_runs == len(result.runs)
+        first_forward = result.runs[0].latency
+        assert result.best_latency <= first_forward
+
+    def test_directions_alternate(self, paper_circuit, small_fabric_4x4):
+        forward, backward = _make_evaluators(paper_circuit, small_fabric_4x4)
+        result = MvfbPlacer(small_fabric_4x4, forward, backward).run(paper_circuit, 1, seed=0)
+        directions = [run.direction for run in result.runs]
+        assert directions[0] == "forward"
+        if len(directions) > 1:
+            assert directions[1] == "backward"
+
+    def test_patience_limits_runs_per_seed(self, paper_circuit, small_fabric_4x4):
+        forward, backward = _make_evaluators(paper_circuit, small_fabric_4x4)
+        placer = MvfbPlacer(small_fabric_4x4, forward, backward, patience=1, max_runs_per_seed=10)
+        result = placer.run(paper_circuit, 1, seed=0)
+        assert result.total_runs <= 10
+
+    def test_best_direction_consistent(self, paper_circuit, small_fabric_4x4):
+        forward, backward = _make_evaluators(paper_circuit, small_fabric_4x4)
+        result = MvfbPlacer(small_fabric_4x4, forward, backward).run(paper_circuit, 1, seed=0)
+        assert result.best_direction in ("forward", "backward")
+        assert result.best_outcome.latency == result.best_latency
+
+    def test_invalid_parameters(self, small_fabric_4x4):
+        def dummy(*args):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(PlacementError):
+            MvfbPlacer(small_fabric_4x4, dummy, dummy, patience=0)
+        with pytest.raises(PlacementError):
+            MvfbPlacer(small_fabric_4x4, dummy, dummy, max_runs_per_seed=1)
+
+    def test_needs_positive_seeds(self, paper_circuit, small_fabric_4x4):
+        forward, backward = _make_evaluators(paper_circuit, small_fabric_4x4)
+        with pytest.raises(PlacementError):
+            MvfbPlacer(small_fabric_4x4, forward, backward).run(paper_circuit, 0)

@@ -1,0 +1,42 @@
+"""Property-based tests for the QASM round trip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.random_circuits import random_circuit
+from repro.qasm.parser import parse_qasm
+from repro.qasm.writer import write_qasm
+
+
+@st.composite
+def circuits(draw):
+    """Random circuits of modest size."""
+    num_qubits = draw(st.integers(min_value=1, max_value=8))
+    num_gates = draw(st.integers(min_value=0, max_value=30))
+    fraction = draw(st.floats(min_value=0.0, max_value=1.0)) if num_qubits >= 2 else 0.0
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return random_circuit(
+        num_qubits, num_gates, two_qubit_fraction=fraction, seed=seed
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(circuits())
+def test_write_parse_round_trip(circuit):
+    """Writing then parsing reproduces an equivalent circuit."""
+    reparsed = parse_qasm(write_qasm(circuit), name=circuit.name)
+    assert reparsed == circuit
+
+
+@settings(max_examples=60, deadline=None)
+@given(circuits())
+def test_round_trip_preserves_counts(circuit):
+    reparsed = parse_qasm(write_qasm(circuit))
+    assert reparsed.num_qubits == circuit.num_qubits
+    assert reparsed.num_instructions == circuit.num_instructions
+    assert reparsed.num_two_qubit_gates == circuit.num_two_qubit_gates
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits())
+def test_writer_is_deterministic(circuit):
+    assert write_qasm(circuit) == write_qasm(circuit)

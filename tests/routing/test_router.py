@@ -1,0 +1,156 @@
+"""Tests for the router facade: trap selection and instruction planning."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.routing.congestion import CongestionTracker
+from repro.routing.router import MeetingPoint, Router, RoutingPolicy
+from repro.routing.trap_selection import select_target_trap
+from repro.technology import PAPER_TECHNOLOGY
+
+
+@pytest.fixture
+def two_qubit_instruction():
+    circuit = QuantumCircuit()
+    circuit.add_qubit("a")
+    circuit.add_qubit("b")
+    return circuit.cx("a", "b")
+
+
+@pytest.fixture
+def single_qubit_instruction():
+    circuit = QuantumCircuit()
+    circuit.add_qubit("a")
+    return circuit.h("a")
+
+
+class TestTrapSelection:
+    def test_nearest_to_median(self, small_fabric_4x4):
+        traps = sorted(small_fabric_4x4.traps)
+        a, b = traps[0], traps[-1]
+        candidates = select_target_trap(small_fabric_4x4, [a, b], max_candidates=3)
+        assert len(candidates) == 3
+        median_row = (small_fabric_4x4.trap(a).cell[0] + small_fabric_4x4.trap(b).cell[0]) / 2
+        median_col = (small_fabric_4x4.trap(a).cell[1] + small_fabric_4x4.trap(b).cell[1]) / 2
+        best = candidates[0]
+        others = [t for t in small_fabric_4x4.traps.values() if t.id not in {c.id for c in candidates}]
+        best_distance = abs(best.cell[0] - median_row) + abs(best.cell[1] - median_col)
+        assert all(
+            abs(t.cell[0] - median_row) + abs(t.cell[1] - median_col) >= best_distance
+            for t in others
+        )
+
+    def test_occupied_traps_excluded(self, small_fabric_4x4):
+        traps = sorted(small_fabric_4x4.traps)
+        a, b = traps[0], traps[-1]
+        all_candidates = select_target_trap(small_fabric_4x4, [a, b], max_candidates=1)
+        blocked = select_target_trap(
+            small_fabric_4x4, [a, b], occupied=[all_candidates[0].id], max_candidates=1
+        )
+        assert blocked[0].id != all_candidates[0].id
+
+
+class TestPlanInstruction:
+    def _positions(self, fabric, near=False):
+        traps = sorted(fabric.traps)
+        if near:
+            on_channel = fabric.traps_on(("h", 1, 1))
+            return {"a": on_channel[0].id, "b": on_channel[1].id}
+        return {"a": traps[0], "b": traps[-1]}
+
+    def test_single_qubit_no_routing(self, small_fabric_4x4, single_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        route = router.plan_instruction(
+            single_qubit_instruction, {"a": 0}, congestion
+        )
+        assert route.routing_delay == 0
+        assert route.target_trap == 0
+
+    def test_missing_placement_raises(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        with pytest.raises(Exception):
+            router.plan_instruction(two_qubit_instruction, {"a": 0}, congestion)
+
+    def test_median_policy_moves_both(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        positions = self._positions(small_fabric_4x4)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route is not None
+        assert len(route.plans) == 2
+        # Both qubits end at the same trap.
+        assert all(plan.target_trap == route.target_trap for plan in route.plans)
+        # With far-apart operands and a median meeting trap, both should move.
+        assert all(plan.duration > 0 for plan in route.plans)
+
+    def test_destination_policy_keeps_target_fixed(self, small_fabric_4x4, two_qubit_instruction):
+        policy = RoutingPolicy(meeting_point=MeetingPoint.DESTINATION, channel_capacity=1)
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, policy)
+        congestion = CongestionTracker(small_fabric_4x4, 1)
+        positions = self._positions(small_fabric_4x4)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route.target_trap == positions["b"]
+        dest_plan = next(plan for plan in route.plans if plan.qubit == "b")
+        assert dest_plan.duration == 0
+
+    def test_center_policy_meets_near_center(self, small_fabric_4x4, two_qubit_instruction):
+        policy = RoutingPolicy(meeting_point=MeetingPoint.CENTER, channel_capacity=2)
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, policy)
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        positions = self._positions(small_fabric_4x4)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        central = small_fabric_4x4.traps_near_center()[0]
+        assert route.target_trap == central.id
+
+    def test_dual_move_routing_delay_is_max(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        positions = self._positions(small_fabric_4x4)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route.routing_delay == pytest.approx(max(p.duration for p in route.plans))
+
+    def test_serial_routing_delay_is_sum(self, small_fabric_4x4, two_qubit_instruction):
+        policy = RoutingPolicy(channel_capacity=1)
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, policy)
+        congestion = CongestionTracker(small_fabric_4x4, 1)
+        positions = self._positions(small_fabric_4x4)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route.serial
+        assert route.routing_delay == pytest.approx(sum(p.duration for p in route.plans))
+        # Serial channel reservations are de-duplicated.
+        assert len(route.channels) == len(set(route.channels))
+
+    def test_operands_sharing_trap_need_no_routing(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        trap = sorted(small_fabric_4x4.traps)[0]
+        route = router.plan_instruction(
+            two_qubit_instruction, {"a": trap, "b": trap}, congestion
+        )
+        assert route.routing_delay == 0
+        assert route.target_trap == trap
+
+    def test_unroutable_when_source_channel_full(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        positions = self._positions(small_fabric_4x4)
+        source_trap = small_fabric_4x4.trap(positions["a"])
+        congestion.reserve(source_trap.channel_id)
+        congestion.reserve(source_trap.channel_id)
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route is None
+
+    def test_occupied_traps_avoided_as_meeting_point(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        positions = self._positions(small_fabric_4x4)
+        unconstrained = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        blocked = router.plan_instruction(
+            two_qubit_instruction,
+            positions,
+            congestion,
+            occupied_traps=[unconstrained.target_trap],
+        )
+        assert blocked.target_trap != unconstrained.target_trap

@@ -1,0 +1,126 @@
+"""Tests for priorities, dependency tracking and the busy queue."""
+
+import pytest
+
+from repro.circuits.builders import ghz_circuit
+from repro.errors import SchedulingError
+from repro.qidg.graph import build_qidg
+from repro.scheduling.busy_queue import BusyQueue
+from repro.scheduling.priority import PriorityPolicy, compute_priorities
+from repro.scheduling.ready import DependencyTracker
+
+
+class TestPriorities:
+    def test_qspr_priority_combines_dependents_and_path(self, bell_circuit):
+        qidg = build_qidg(bell_circuit)
+        priorities = compute_priorities(qidg, PriorityPolicy.QSPR)
+        # H: 1 dependent + 110 path; CX: 0 dependents + 100 path.
+        assert priorities[0] == pytest.approx(111.0)
+        assert priorities[1] == pytest.approx(100.0)
+
+    def test_quale_alap_prefers_low_levels(self, ghz5):
+        qidg = build_qidg(ghz5)
+        priorities = compute_priorities(qidg, PriorityPolicy.QUALE_ALAP)
+        ordered = sorted(priorities, key=lambda n: -priorities[n])
+        assert ordered[0] == 0  # the Hadamard must come first
+
+    def test_qpos_dependents(self, ghz5):
+        qidg = build_qidg(ghz5)
+        priorities = compute_priorities(qidg, PriorityPolicy.QPOS_DEPENDENTS)
+        assert priorities[0] == pytest.approx(len(ghz5.instructions) - 1)
+
+    def test_qpos_path_delay_excludes_own_delay(self, bell_circuit):
+        qidg = build_qidg(bell_circuit)
+        priorities = compute_priorities(qidg, PriorityPolicy.QPOS_PATH_DELAY)
+        assert priorities[0] == pytest.approx(100.0)
+        assert priorities[1] == pytest.approx(0.0)
+
+    def test_all_policies_produce_all_nodes(self, paper_circuit):
+        qidg = build_qidg(paper_circuit)
+        for policy in PriorityPolicy:
+            priorities = compute_priorities(qidg, policy)
+            assert set(priorities) == set(qidg.graph.nodes)
+
+
+class TestDependencyTracker:
+    def test_initially_ready_sources(self, paper_circuit):
+        qidg = build_qidg(paper_circuit)
+        tracker = DependencyTracker(qidg)
+        assert tracker.initially_ready() == qidg.sources()
+
+    def test_completion_unlocks_successors(self, bell_circuit):
+        qidg = build_qidg(bell_circuit)
+        tracker = DependencyTracker(qidg)
+        tracker.mark_issued(0)
+        newly = tracker.mark_completed(0)
+        assert newly == [1]
+        assert tracker.is_ready(1)
+
+    def test_cannot_issue_before_dependencies(self, bell_circuit):
+        qidg = build_qidg(bell_circuit)
+        tracker = DependencyTracker(qidg)
+        with pytest.raises(SchedulingError):
+            tracker.mark_issued(1)
+
+    def test_double_issue_rejected(self, bell_circuit):
+        tracker = DependencyTracker(build_qidg(bell_circuit))
+        tracker.mark_issued(0)
+        with pytest.raises(SchedulingError):
+            tracker.mark_issued(0)
+
+    def test_complete_without_issue_rejected(self, bell_circuit):
+        tracker = DependencyTracker(build_qidg(bell_circuit))
+        with pytest.raises(SchedulingError):
+            tracker.mark_completed(0)
+
+    def test_all_completed(self, ghz5):
+        qidg = build_qidg(ghz5)
+        tracker = DependencyTracker(qidg)
+        for node in qidg.topological_order():
+            tracker.mark_issued(node)
+            tracker.mark_completed(node)
+        assert tracker.all_completed
+        assert tracker.outstanding == []
+
+    def test_outstanding(self, bell_circuit):
+        tracker = DependencyTracker(build_qidg(bell_circuit))
+        assert tracker.outstanding == [0, 1]
+        tracker.mark_issued(0)
+        tracker.mark_completed(0)
+        assert tracker.outstanding == [1]
+
+
+class TestBusyQueue:
+    def test_park_and_remove(self):
+        queue = BusyQueue()
+        queue.park(3, 12.0)
+        assert 3 in queue
+        assert queue.parked_since(3) == 12.0
+        assert queue.remove(3) == 12.0
+        assert 3 not in queue
+
+    def test_park_is_idempotent(self):
+        queue = BusyQueue()
+        queue.park(3, 12.0)
+        queue.park(3, 99.0)
+        assert queue.parked_since(3) == 12.0
+        assert len(queue) == 1
+
+    def test_total_entries_counts_distinct_parks(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.remove(1)
+        queue.park(1, 5.0)
+        assert queue.total_entries == 2
+
+    def test_remove_missing(self):
+        queue = BusyQueue()
+        with pytest.raises(SchedulingError):
+            queue.remove(7)
+
+    def test_instructions_order(self):
+        queue = BusyQueue()
+        queue.park(5, 0.0)
+        queue.park(2, 1.0)
+        assert queue.instructions == [5, 2]
+        assert bool(queue)

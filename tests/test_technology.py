@@ -1,0 +1,83 @@
+"""Tests for the technology parameter model."""
+
+import pytest
+
+from repro.technology import LEGACY_TECHNOLOGY, PAPER_TECHNOLOGY, TechnologyParams
+
+
+class TestPaperDefaults:
+    def test_move_delay(self):
+        assert PAPER_TECHNOLOGY.move_delay == 1.0
+
+    def test_turn_delay(self):
+        assert PAPER_TECHNOLOGY.turn_delay == 10.0
+
+    def test_gate_delays(self):
+        assert PAPER_TECHNOLOGY.one_qubit_gate_delay == 10.0
+        assert PAPER_TECHNOLOGY.two_qubit_gate_delay == 100.0
+
+    def test_channel_capacity_is_two(self):
+        assert PAPER_TECHNOLOGY.channel_capacity == 2
+
+    def test_legacy_capacity_is_one(self):
+        assert LEGACY_TECHNOLOGY.channel_capacity == 1
+        assert LEGACY_TECHNOLOGY.junction_capacity == 1
+
+    def test_turn_is_slower_than_move(self):
+        # The paper: a turn takes 5x-30x a move.
+        ratio = PAPER_TECHNOLOGY.turn_delay / PAPER_TECHNOLOGY.move_delay
+        assert 5 <= ratio <= 30
+
+
+class TestGateDelay:
+    def test_one_qubit(self):
+        assert PAPER_TECHNOLOGY.gate_delay(1) == 10.0
+
+    def test_two_qubit(self):
+        assert PAPER_TECHNOLOGY.gate_delay(2) == 100.0
+
+    def test_measurement(self):
+        assert PAPER_TECHNOLOGY.gate_delay(1, is_measurement=True) == PAPER_TECHNOLOGY.measure_delay
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            PAPER_TECHNOLOGY.gate_delay(3)
+
+
+class TestValidation:
+    def test_negative_move_delay_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(move_delay=0.0)
+
+    def test_negative_turn_delay_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(turn_delay=-1.0)
+
+    def test_zero_channel_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(channel_capacity=0)
+
+    def test_zero_trap_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(trap_capacity=0)
+
+    def test_negative_gate_delay_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(two_qubit_gate_delay=-5.0)
+
+
+class TestDerivedCopies:
+    def test_with_channel_capacity(self):
+        modified = PAPER_TECHNOLOGY.with_channel_capacity(1)
+        assert modified.channel_capacity == 1
+        assert modified.junction_capacity == 1
+        assert PAPER_TECHNOLOGY.channel_capacity == 2  # original untouched
+
+    def test_with_turn_delay(self):
+        modified = PAPER_TECHNOLOGY.with_turn_delay(30.0)
+        assert modified.turn_delay == 30.0
+        assert modified.move_delay == PAPER_TECHNOLOGY.move_delay
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_TECHNOLOGY.move_delay = 2.0  # type: ignore[misc]
