@@ -8,6 +8,10 @@ configurable ``m`` (``REPRO_BENCH_SEEDS``, default 3) and asserts the
 headline claim: MVFB's latency is never worse than Monte-Carlo's even though
 Monte-Carlo gets twice the placement budget.
 
+Both placer configurations are expressed as :mod:`repro.runner` experiment
+cells and executed through :func:`repro.runner.execute_cell`, the same
+engine that backs ``qspr-map sweep``.
+
 The largest circuits dominate the runtime; by default the sweep covers the
 four smaller benchmarks and includes [[14,8,3]] / [[19,1,7]] only when
 ``REPRO_BENCH_FULL=1``.
@@ -23,10 +27,8 @@ from repro.analysis.tables import format_comparison_table
 
 
 from report_util import emit as _emit
-from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
-from repro.fabric.builder import quale_fabric
-from repro.mapper.options import MapperOptions, PlacerKind
-from repro.mapper.qspr import QsprMapper
+from repro.circuits.qecc import BENCHMARK_NAMES
+from repro.runner import ExperimentSpec, execute_cell
 
 BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
@@ -42,16 +44,16 @@ _ROWS: dict[str, tuple] = {}
 
 
 def _run_both_placers(name: str) -> tuple:
-    fabric = quale_fabric()
-    circuit = qecc_encoder(name)
-    mvfb = QsprMapper(
-        MapperOptions(placer=PlacerKind.MVFB, num_seeds=BENCH_SEEDS)
-    ).map(circuit, fabric)
-    monte_carlo = QsprMapper(
-        MapperOptions(
-            placer=PlacerKind.MONTE_CARLO, num_placements=2 * mvfb.placement_runs
+    mvfb = execute_cell(
+        ExperimentSpec(circuit=name, placer="mvfb", num_seeds=BENCH_SEEDS)
+    )
+    monte_carlo = execute_cell(
+        ExperimentSpec(
+            circuit=name,
+            placer="monte-carlo",
+            num_placements=2 * mvfb.placement_runs,
         )
-    ).map(circuit, fabric)
+    )
     return mvfb, monte_carlo
 
 

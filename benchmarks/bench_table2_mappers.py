@@ -7,6 +7,10 @@ QUALE (24%-55%, growing with circuit size).  This benchmark regenerates those
 rows; absolute values depend on the reconstructed fabric and circuits, but
 the ordering (QSPR < QUALE), the baseline lower bound and the
 improvement-grows-with-size trend are asserted.
+
+Each row is a three-cell :class:`repro.runner.Sweep` (ideal × quale × qspr
+on one circuit) executed by :func:`repro.runner.run_sweep` — the same engine
+that backs ``qspr-map sweep``.
 """
 
 from __future__ import annotations
@@ -19,11 +23,8 @@ from repro.analysis.tables import format_comparison_table
 
 
 from report_util import emit as _emit
-from repro.circuits.qecc import BENCHMARK_NAMES, QECC_BENCHMARKS, qecc_encoder
-from repro.mapper.ideal import IdealBaseline
-from repro.mapper.options import MapperOptions
-from repro.mapper.qspr import QsprMapper
-from repro.mapper.quale import QualeMapper
+from repro.circuits.qecc import BENCHMARK_NAMES, QECC_BENCHMARKS
+from repro.runner import Sweep, run_sweep
 
 #: MVFB seeds (the paper uses m=100 for Table 2).
 BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
@@ -33,14 +34,15 @@ _ROWS: dict[str, tuple] = {}
 
 
 def _map_circuit(name: str) -> tuple:
-    from repro.fabric.builder import quale_fabric
-
-    fabric = quale_fabric()
-    circuit = qecc_encoder(name)
-    baseline = IdealBaseline().latency(circuit)
-    quale = QualeMapper().map(circuit, fabric)
-    qspr = QsprMapper(MapperOptions(num_seeds=BENCH_SEEDS)).map(circuit, fabric)
-    return baseline, quale, qspr
+    sweep = Sweep(
+        circuits=(name,),
+        mappers=("ideal", "quale", "qspr"),
+        placers=("mvfb",),
+        num_seeds=(BENCH_SEEDS,),
+    )
+    run = run_sweep(sweep)
+    by_mapper = {cell.mapper: cell for cell in run.results}
+    return by_mapper["ideal"].latency, by_mapper["quale"], by_mapper["qspr"]
 
 
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)

@@ -18,6 +18,7 @@ The public API is organised by pipeline stage:
 * :mod:`repro.mapper` — end-to-end mappers: QSPR, QUALE, QPOS and the ideal baseline.
 * :mod:`repro.analysis` — latency metrics, error models and table formatting.
 * :mod:`repro.viz` — ASCII renderings of fabrics and traces.
+* :mod:`repro.runner` — batch experiment runner: sweeps, caching, reports.
 
 A typical end-to-end use::
 
@@ -58,6 +59,15 @@ from repro.mapper import (
     QualeMapper,
 )
 from repro.placement import CenterPlacer, MonteCarloPlacer, MvfbPlacer, Placement
+from repro.runner import (
+    CellResult,
+    ExperimentSpec,
+    FabricCell,
+    ResultCache,
+    Sweep,
+    execute_cell,
+    run_sweep,
+)
 
 __all__ = [
     "TechnologyParams",
@@ -96,6 +106,13 @@ __all__ = [
     "CenterPlacer",
     "MonteCarloPlacer",
     "MvfbPlacer",
+    "CellResult",
+    "ExperimentSpec",
+    "FabricCell",
+    "ResultCache",
+    "Sweep",
+    "execute_cell",
+    "run_sweep",
 ]
 
 __version__ = "1.0.0"

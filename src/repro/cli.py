@@ -1,14 +1,24 @@
 """Command-line interface: ``qspr-map``.
 
-Maps a QASM file (or one of the built-in QECC benchmarks) onto an ion-trap
-fabric and prints the resulting latency, a comparison against the ideal
-baseline and (optionally) the control trace.
+Three subcommands cover the single-shot and batch workflows:
+
+* ``qspr-map run`` — map one QASM file (or built-in QECC benchmark) onto an
+  ion-trap fabric and print the latency report.  For backward compatibility
+  the subcommand may be omitted: ``qspr-map --benchmark "[[5,1,3]]"`` is
+  equivalent to ``qspr-map run --benchmark "[[5,1,3]]"``.
+* ``qspr-map sweep`` — expand a mappers × placers × circuits × seeds grid,
+  execute it (process-parallel with ``--jobs``, cached on disk) and write
+  JSON + CSV results plus a latency comparison table.
+* ``qspr-map report`` — re-render the tables from a previous sweep's
+  ``results.json`` without re-running anything.
 
 Examples::
 
     qspr-map --benchmark "[[5,1,3]]"
-    qspr-map circuit.qasm --mapper quale --fabric-rows 12 --fabric-cols 22
-    qspr-map --benchmark "[[9,1,3]]" --seeds 5 --show-trace
+    qspr-map run circuit.qasm --mapper quale --fabric-rows 12 --fabric-cols 22
+    qspr-map sweep --benchmarks "[[5,1,3]],[[7,1,3]]" --mappers qspr,quale \\
+        --placers mvfb,monte-carlo --out sweep-out --jobs 4
+    qspr-map report sweep-out/results.json
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
+import repro
 from repro.analysis.metrics import latency_breakdown
 from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
 from repro.errors import ReproError
@@ -26,15 +37,39 @@ from repro.mapper.qpos import QposMapper
 from repro.mapper.qspr import QsprMapper
 from repro.mapper.quale import QualeMapper
 from repro.qasm.parser import parse_qasm_file
+from repro.runner import (
+    MAPPER_NAMES,
+    ExperimentSpec,
+    FabricCell,
+    ResultCache,
+    Sweep,
+    cell_table,
+    latency_table,
+    parse_axis,
+    read_json,
+    run_sweep,
+    write_csv,
+    write_json,
+)
 from repro.viz.trace_render import render_gantt
 
+#: Subcommand names; anything else on the command line means legacy ``run``.
+_COMMANDS = ("run", "sweep", "report")
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
-    parser = argparse.ArgumentParser(
-        prog="qspr-map",
-        description="Map a quantum circuit onto an ion-trap fabric and report its latency.",
+
+def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fabric-rows", type=int, default=12, help="junction rows of the fabric (default: 12)"
     )
+    parser.add_argument(
+        "--fabric-cols", type=int, default=22, help="junction columns of the fabric (default: 22)"
+    )
+    parser.add_argument(
+        "--channel-length", type=int, default=3, help="channel length in cells (default: 3)"
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("qasm", nargs="?", help="path to a QASM file")
     source.add_argument(
@@ -62,16 +97,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo placement runs m' (required with --placer monte-carlo)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
-    parser.add_argument(
-        "--fabric-rows", type=int, default=12, help="junction rows of the fabric (default: 12)"
-    )
-    parser.add_argument(
-        "--fabric-cols", type=int, default=22, help="junction columns of the fabric (default: 22)"
-    )
-    parser.add_argument(
-        "--channel-length", type=int, default=3, help="channel length in cells (default: 3)"
-    )
+    _add_fabric_arguments(parser)
     parser.add_argument("--show-trace", action="store_true", help="print a per-qubit Gantt chart")
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        default="[[5,1,3]],[[7,1,3]]",
+        help="comma-separated QECC benchmark names or QASM paths "
+        '(default: "[[5,1,3]],[[7,1,3]]")',
+    )
+    parser.add_argument(
+        "--mappers",
+        default="qspr,quale",
+        help=f"comma-separated mappers from {MAPPER_NAMES} (default: qspr,quale)",
+    )
+    parser.add_argument(
+        "--placers",
+        default="mvfb",
+        help="comma-separated QSPR placers (default: mvfb)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="2",
+        help="comma-separated MVFB seed counts m; Monte-Carlo uses the same "
+        "value as its run budget m' (default: 2)",
+    )
+    parser.add_argument(
+        "--random-seeds", default="0", help="comma-separated random seeds (default: 0)"
+    )
+    _add_fabric_arguments(parser)
+    parser.add_argument(
+        "--out",
+        default="sweep-out",
+        help="output directory for results.json / results.csv (default: sweep-out)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: <out>/cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="re-execute every cell, ignoring the cache"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = sequential, 0 = one per CPU; default: 1)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="qspr-map",
+        description="Map quantum circuits onto an ion-trap fabric and report latencies.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="map one circuit and print its latency report"
+    )
+    _add_run_arguments(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="execute a mappers x placers x circuits grid with caching"
+    )
+    _add_sweep_arguments(sweep_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="re-render tables from a sweep's results.json"
+    )
+    report_parser.add_argument("results", help="path to a results.json written by sweep")
+    report_parser.add_argument(
+        "--csv", default=None, help="also write the results as CSV to this path"
+    )
     return parser
 
 
@@ -111,18 +216,11 @@ def _build_mapper(args: argparse.Namespace):
     return QsprMapper(options)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``qspr-map`` console script."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        circuit = _load_circuit(args)
-        fabric = _build_fabric(args)
-        mapper = _build_mapper(args)
-        result = mapper.map(circuit, fabric)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+def _command_run(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    fabric = _build_fabric(args)
+    mapper = _build_mapper(args)
+    result = mapper.map(circuit, fabric)
 
     print(result.summary())
     breakdown = latency_breakdown(result)
@@ -136,6 +234,83 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_gantt(result.trace))
     return 0
+
+
+def _int_axis(text: str, flag: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(value) for value in parse_axis(text))
+    except ValueError as exc:
+        raise ReproError(f"{flag} expects comma-separated integers, got {text!r}") from exc
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    fabric = FabricCell(
+        junction_rows=args.fabric_rows,
+        junction_cols=args.fabric_cols,
+        channel_length=args.channel_length,
+    )
+    sweep = Sweep(
+        circuits=parse_axis(args.benchmarks),
+        mappers=parse_axis(args.mappers),
+        placers=parse_axis(args.placers),
+        num_seeds=_int_axis(args.seeds, "--seeds"),
+        random_seeds=_int_axis(args.random_seeds, "--random-seeds"),
+        fabrics=(fabric,),
+    )
+    out = Path(args.out)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else out / "cache")
+
+    run = run_sweep(sweep, cache=cache, workers=args.jobs)
+
+    json_path = write_json(run.results, out / "results.json")
+    csv_path = write_csv(run.results, out / "results.csv")
+    print(latency_table(run.results))
+    print(cell_table(run.results))
+    print(run.summary())
+    print(f"results: {json_path} and {csv_path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    path = Path(args.results)
+    if not path.exists():
+        raise ReproError(f"results file not found: {path}")
+    results = read_json(path)
+    if not results:
+        raise ReproError(f"no results in {path}")
+    print(latency_table(results))
+    print(cell_table(results))
+    if args.csv:
+        print(f"csv: {write_csv(results, args.csv)}")
+    return 0
+
+
+def _normalise_argv(argv: list[str]) -> list[str]:
+    """Map legacy no-subcommand invocations onto ``run``."""
+    if not argv:
+        return ["run"]
+    first = argv[0]
+    if first in _COMMANDS or first in ("-h", "--help", "--version"):
+        return argv
+    return ["run", *argv]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``qspr-map`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(_normalise_argv(list(sys.argv[1:] if argv is None else argv)))
+    handler = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "report": _command_report,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

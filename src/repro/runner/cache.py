@@ -1,0 +1,99 @@
+"""Content-keyed disk cache of experiment-cell results.
+
+Each executed cell is stored as one small JSON file named after (a prefix
+of) the cell's :meth:`~repro.runner.spec.ExperimentSpec.cache_key`.  Because
+the key hashes the normalised spec, the fabric geometry and the circuit
+*content*, re-running an unchanged sweep is free while changing any knob —
+or editing a QASM file — transparently re-executes the affected cells.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runner.results import CellResult
+from repro.runner.spec import ExperimentSpec
+
+
+class ResultCache:
+    """Directory of ``<cache_key>.json`` cell records.
+
+    Example::
+
+        >>> import tempfile
+        >>> from repro.runner import ExperimentSpec
+        >>> cache = ResultCache(tempfile.mkdtemp())
+        >>> spec = ExperimentSpec("[[5,1,3]]", mapper="ideal")
+        >>> cache.load(spec) is None
+        True
+        >>> cache.store(spec, CellResult(circuit="[[5,1,3]]", mapper="ideal"))
+        >>> cache.load(spec).from_cache
+        True
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key[:40]}.json"
+
+    def load(self, spec: ExperimentSpec) -> CellResult | None:
+        """The cached result of ``spec``, or ``None`` on a miss.
+
+        Served records have :attr:`~repro.runner.results.CellResult.from_cache`
+        set.  Corrupted or mismatching files are treated as misses.
+        """
+        key = spec.cache_key()
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("key") != key:  # filename-prefix collision or stale schema
+            return None
+        result = CellResult.from_dict(record.get("result", {}))
+        result.from_cache = True
+        return result
+
+    def store(self, spec: ExperimentSpec, result: CellResult) -> None:
+        """Persist ``result`` under ``spec``'s content key."""
+        key = spec.cache_key()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "spec": spec.normalized().to_dict(),
+            "result": result.to_dict(),
+        }
+        self._path(key).write_text(json.dumps(record, indent=2, sort_keys=True))
+
+    def __len__(self) -> int:
+        """Number of cached cell records.
+
+        Example::
+
+            >>> import tempfile
+            >>> len(ResultCache(tempfile.mkdtemp()))
+            0
+        """
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed.
+
+        Example::
+
+            >>> import tempfile
+            >>> ResultCache(tempfile.mkdtemp()).clear()
+            0
+        """
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

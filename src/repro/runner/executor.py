@@ -1,0 +1,200 @@
+"""Batch execution of experiment grids.
+
+:func:`run_sweep` takes a :class:`~repro.runner.spec.Sweep` (or an explicit
+list of cells), consults the optional :class:`~repro.runner.cache.ResultCache`
+and executes the remaining cells either sequentially or on a
+``concurrent.futures`` process pool.  Results always come back in grid order,
+and — because every mapper is deterministic for a fixed spec — parallel and
+sequential executions produce identical latency tables.
+
+If the platform cannot start worker processes (restricted sandboxes, missing
+semaphores), the executor transparently falls back to the deterministic
+sequential path instead of failing the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.mapper.ideal import IdealBaseline
+from repro.runner.cache import ResultCache
+from repro.runner.results import CellResult
+from repro.runner.spec import ExperimentSpec, Sweep
+
+#: Optional per-cell progress callback: ``callback(index, total, result)``.
+ProgressCallback = Callable[[int, int, CellResult], None]
+
+
+def execute_cell(spec: ExperimentSpec) -> CellResult:
+    """Execute one experiment cell and summarise it.
+
+    This is the unit of work of the process pool; it builds the circuit,
+    fabric and mapper from the declarative spec, so it only needs the spec
+    itself to cross the process boundary.
+
+    Example::
+
+        >>> from repro.runner import ExperimentSpec, FabricCell
+        >>> cell = execute_cell(ExperimentSpec(
+        ...     "[[5,1,3]]", placer="center",
+        ...     fabric=FabricCell(junction_rows=4, junction_cols=4)))
+        >>> cell.latency > cell.ideal_latency > 0
+        True
+    """
+    circuit = spec.build_circuit()
+    if spec.mapper == "ideal":
+        start = time.perf_counter()
+        latency = IdealBaseline().latency(circuit)
+        return CellResult(
+            circuit=spec.circuit,
+            mapper="ideal",
+            fabric=spec.fabric.label,
+            latency=latency,
+            ideal_latency=latency,
+            cpu_seconds=time.perf_counter() - start,
+        )
+    fabric = spec.build_fabric()
+    mapper = spec.build_mapper()
+    result = mapper.map(circuit, fabric)
+    return CellResult.from_mapping(spec, result)
+
+
+@dataclass
+class SweepRun:
+    """Outcome of one :func:`run_sweep` invocation.
+
+    Attributes:
+        specs: The grid cells, in execution (grid) order.
+        results: One :class:`~repro.runner.results.CellResult` per cell, in
+            the same order.
+        executed: Cells actually mapped in this run.
+        cached: Cells served from the result cache.
+        wall_seconds: Wall-clock duration of the whole sweep.
+
+    Example::
+
+        >>> run = SweepRun(specs=(), results=[])
+        >>> run.total
+        0
+    """
+
+    specs: tuple[ExperimentSpec, ...]
+    results: list[CellResult]
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Number of grid cells in the sweep."""
+        return len(self.specs)
+
+    def summary(self) -> str:
+        """One-line account of the run (printed by ``qspr-map sweep``).
+
+        Example::
+
+            >>> SweepRun(specs=(), results=[], executed=0, cached=0).summary()
+            'mapped 0 cells: 0 executed, 0 from cache (0.0 s)'
+        """
+        return (
+            f"mapped {self.total} cells: {self.executed} executed, "
+            f"{self.cached} from cache ({self.wall_seconds:.1f} s)"
+        )
+
+
+def run_sweep(
+    experiment: Sweep | Sequence[ExperimentSpec],
+    *,
+    cache: ResultCache | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SweepRun:
+    """Execute every cell of ``experiment``, reusing cached results.
+
+    Args:
+        experiment: A :class:`~repro.runner.spec.Sweep` or an explicit
+            sequence of :class:`~repro.runner.spec.ExperimentSpec` cells.
+        cache: Optional result cache; hits skip execution, misses are stored.
+        workers: Worker processes for the uncached cells; ``1`` runs the
+            deterministic sequential path, ``0`` uses one worker per CPU.
+        progress: Optional callback invoked as each cell completes (cache
+            hits first, then executed cells — not necessarily in grid order
+            when ``workers`` > 1).
+
+    Returns:
+        A :class:`SweepRun` with results in grid order.
+
+    Example::
+
+        >>> from repro.runner import ExperimentSpec, FabricCell, Sweep
+        >>> tiny = FabricCell(junction_rows=4, junction_cols=4)
+        >>> sweep = Sweep(circuits=("[[5,1,3]]",), placers=("center",), fabrics=(tiny,))
+        >>> run = run_sweep(sweep)
+        >>> run.executed, run.cached
+        (1, 0)
+    """
+    specs = experiment.expand() if isinstance(experiment, Sweep) else tuple(experiment)
+    start = time.perf_counter()
+    total = len(specs)
+    results: dict[int, CellResult] = {}
+    pending: list[int] = []
+
+    for index, spec in enumerate(specs):
+        hit = cache.load(spec) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress(index, total, hit)
+        else:
+            pending.append(index)
+
+    for index, result in _execute_pending(specs, pending, workers):
+        results[index] = result
+        if cache is not None:
+            cache.store(specs[index], result)
+        if progress is not None:
+            progress(index, total, result)
+
+    return SweepRun(
+        specs=specs,
+        results=[results[index] for index in range(total)],
+        executed=len(pending),
+        cached=total - len(pending),
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def _execute_pending(
+    specs: Sequence[ExperimentSpec], pending: Sequence[int], workers: int
+) -> Iterator[tuple[int, CellResult]]:
+    """Yield ``(grid index, result)`` pairs as the pending cells complete.
+
+    Uses a process pool when ``workers`` allows it, falling back to the
+    deterministic sequential path only when the pool itself cannot run
+    (restricted sandboxes, broken workers) — errors raised *by a cell* are
+    never swallowed; they propagate to the caller.
+    """
+    done: set[int] = set()
+    if workers != 1 and len(pending) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers if workers > 0 else None) as pool:
+                cells = [specs[index] for index in pending]
+                for index, result in zip(pending, pool.map(execute_cell, cells)):
+                    done.add(index)
+                    yield index, result
+            return
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc}); falling back to sequential execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    for index in pending:
+        if index not in done:
+            yield index, execute_cell(specs[index])

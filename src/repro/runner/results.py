@@ -1,0 +1,160 @@
+"""Structured, serialisable records of executed experiment cells.
+
+A :class:`~repro.mapper.result.MappingResult` holds live objects (placements,
+traces, per-instruction records) that are expensive to move between processes
+and meaningless to persist.  :class:`CellResult` is the flat summary the
+runner stores, caches and aggregates: everything the paper's tables report,
+as plain JSON-compatible scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mapper.result import MappingResult
+    from repro.runner.spec import ExperimentSpec
+
+#: Column order of the CSV writer (and of ``CellResult`` itself).
+CSV_FIELDS: tuple[str, ...] = (
+    "circuit",
+    "mapper",
+    "placer",
+    "fabric",
+    "num_seeds",
+    "random_seed",
+    "latency",
+    "ideal_latency",
+    "placement_runs",
+    "direction",
+    "total_moves",
+    "total_turns",
+    "total_congestion_delay",
+    "cpu_seconds",
+    "from_cache",
+)
+
+
+@dataclass
+class CellResult:
+    """Flat summary of one mapped experiment cell.
+
+    Attributes:
+        circuit: Circuit identifier (benchmark name or QASM path).
+        mapper: Mapper name (``qspr``/``quale``/``qpos``/``ideal``).
+        placer: Placer name, or ``"-"`` for mappers without one.
+        fabric: Fabric label (see :attr:`repro.runner.spec.FabricCell.label`).
+        num_seeds: MVFB seed count ``m`` the cell ran with.
+        random_seed: Random seed of the cell.
+        latency: Execution latency in microseconds (the figure of merit).
+        ideal_latency: Zero-routing/zero-congestion lower bound.
+        placement_runs: Placement runs the placer performed.
+        direction: Winning MVFB pass (``forward``/``backward``; ``-`` when
+            not applicable).
+        total_moves: Qubit moves of the winning pass.
+        total_turns: Qubit turns of the winning pass.
+        total_congestion_delay: Summed busy-queue waiting time.
+        cpu_seconds: Mapping CPU time (of the original execution, for cached
+            records).
+        from_cache: Whether this record was served from the result cache.
+
+    Example::
+
+        >>> row = CellResult(circuit="[[5,1,3]]", mapper="ideal", latency=18.0,
+        ...                  ideal_latency=18.0)
+        >>> row.overhead_vs_ideal
+        0.0
+    """
+
+    circuit: str
+    mapper: str
+    placer: str = "-"
+    fabric: str = "quale-12x22c3"
+    num_seeds: int = 1
+    random_seed: int = 0
+    latency: float = 0.0
+    ideal_latency: float = 0.0
+    placement_runs: int = 0
+    direction: str = "-"
+    total_moves: int = 0
+    total_turns: int = 0
+    total_congestion_delay: float = 0.0
+    cpu_seconds: float = 0.0
+    from_cache: bool = False
+
+    @classmethod
+    def from_mapping(cls, spec: "ExperimentSpec", result: "MappingResult") -> "CellResult":
+        """Summarise a live :class:`~repro.mapper.result.MappingResult`.
+
+        Example::
+
+            >>> from repro.runner import ExperimentSpec, execute_cell
+            >>> cell = execute_cell(ExperimentSpec("[[5,1,3]]", mapper="quale"))
+            >>> cell.mapper, cell.latency >= cell.ideal_latency
+            ('quale', True)
+        """
+        return cls(
+            circuit=spec.circuit,
+            mapper=spec.mapper,
+            placer=spec.placer or "-",
+            fabric=spec.fabric.label,
+            num_seeds=spec.num_seeds,
+            random_seed=spec.random_seed,
+            latency=result.latency,
+            ideal_latency=result.ideal_latency,
+            placement_runs=result.placement_runs,
+            direction=result.direction,
+            total_moves=result.total_moves,
+            total_turns=result.total_turns,
+            total_congestion_delay=result.total_congestion_delay,
+            cpu_seconds=result.cpu_seconds,
+        )
+
+    @property
+    def config_label(self) -> str:
+        """``mapper[/placer]`` — the report column this cell belongs to.
+
+        Example::
+
+            >>> CellResult(circuit="c", mapper="qspr", placer="mvfb").config_label
+            'qspr/mvfb'
+        """
+        if self.placer != "-":
+            return f"{self.mapper}/{self.placer}"
+        return self.mapper
+
+    @property
+    def overhead_vs_ideal(self) -> float:
+        """Latency added by routing and congestion (Table 2's "difference")."""
+        return self.latency - self.ideal_latency
+
+    def improvement_over(self, other: "CellResult | float") -> float:
+        """Percentage improvement of this cell over ``other`` (Table 2).
+
+        Example::
+
+            >>> fast = CellResult(circuit="c", mapper="qspr", latency=50.0)
+            >>> fast.improvement_over(100.0)
+            50.0
+        """
+        other_latency = other.latency if isinstance(other, CellResult) else float(other)
+        if other_latency == 0:
+            return 0.0
+        return 100.0 * (other_latency - self.latency) / other_latency
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        Example::
+
+            >>> CellResult.from_dict(CellResult(circuit="c", mapper="ideal").to_dict()).mapper
+            'ideal'
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CellResult":
+        """Rebuild a record from :meth:`to_dict` output, ignoring unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})

@@ -1,0 +1,420 @@
+"""Experiment specification model: single cells and cross-product sweeps.
+
+Every experiment in the paper — Table 1's placer comparison, Table 2's
+mapper comparison, the m-sensitivity sweep — is a cross-product of
+mappers × placers × fabrics × benchmark circuits × seed counts.  This module
+gives that cross-product a declarative, hashable form:
+
+* :class:`FabricCell` — the fabric axis as plain parameters (not a live
+  :class:`~repro.fabric.fabric.Fabric`), so specs can be pickled to worker
+  processes and hashed into cache keys.
+* :class:`ExperimentSpec` — one cell of the grid: which circuit, which
+  mapper, which placer, how many seeds, on which fabric.
+* :class:`Sweep` — the grid itself; :meth:`Sweep.expand` produces the
+  de-duplicated list of cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.errors import MappingError, ReproError
+from repro.fabric.builder import FabricSpec, build_fabric, quale_fabric
+from repro.fabric.fabric import Fabric
+from repro.mapper.options import MapperOptions, PlacerKind
+from repro.mapper.qpos import QposMapper
+from repro.mapper.qspr import QsprMapper
+from repro.mapper.quale import QualeMapper
+from repro.qasm.parser import parse_qasm_file
+
+#: Mapper names accepted by the runner.  ``"ideal"`` is the zero-routing /
+#: zero-congestion baseline of the paper's Table 2.
+MAPPER_NAMES: tuple[str, ...] = ("qspr", "quale", "qpos", "ideal")
+
+#: Placer names accepted by the runner (only meaningful for ``"qspr"``).
+PLACER_NAMES: tuple[str, ...] = tuple(kind.value for kind in PlacerKind)
+
+#: Bump when the semantics of a cached record change; part of every cache key.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FabricCell:
+    """The fabric axis of a sweep, as constructor parameters.
+
+    Keeping the fabric declarative (rather than holding a built
+    :class:`~repro.fabric.fabric.Fabric`) makes specs picklable for the
+    process pool and lets the cache key cover the exact geometry.
+
+    Example::
+
+        >>> FabricCell.quale().label
+        'quale-12x22c3'
+        >>> FabricCell(junction_rows=4, junction_cols=4).label
+        '4x4c3'
+    """
+
+    junction_rows: int = 12
+    junction_cols: int = 22
+    channel_length: int = 3
+    traps_per_channel: int = 2
+
+    @classmethod
+    def quale(cls) -> "FabricCell":
+        """The 45×85-cell fabric used by all of the paper's experiments.
+
+        Example::
+
+            >>> FabricCell.quale().junction_cols
+            22
+        """
+        return cls(junction_rows=12, junction_cols=22, channel_length=3, traps_per_channel=2)
+
+    @property
+    def is_quale(self) -> bool:
+        """Whether these parameters describe the paper's QUALE fabric."""
+        return self == FabricCell.quale()
+
+    @property
+    def label(self) -> str:
+        """Short name used in result records and report columns.
+
+        Example::
+
+            >>> FabricCell(junction_rows=2, junction_cols=3, channel_length=2).label
+            '2x3c2'
+        """
+        geometry = f"{self.junction_rows}x{self.junction_cols}c{self.channel_length}"
+        return f"quale-{geometry}" if self.is_quale else geometry
+
+    def build(self) -> Fabric:
+        """Construct the described :class:`~repro.fabric.fabric.Fabric`.
+
+        Example::
+
+            >>> FabricCell(junction_rows=2, junction_cols=3).build().num_traps > 0
+            True
+        """
+        if self.is_quale:
+            return quale_fabric()
+        return build_fabric(
+            FabricSpec(
+                name=self.label,
+                junction_rows=self.junction_rows,
+                junction_cols=self.junction_cols,
+                channel_length=self.channel_length,
+                traps_per_channel=self.traps_per_channel,
+            )
+        )
+
+
+#: Shared default fabric (frozen, so safe as a dataclass default).
+QUALE_FABRIC_CELL = FabricCell.quale()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid.
+
+    Attributes:
+        circuit: A QECC benchmark name (e.g. ``"[[5,1,3]]"``) or the path of
+            a QASM file.
+        mapper: ``"qspr"``, ``"quale"``, ``"qpos"`` or ``"ideal"``.
+        placer: QSPR's placement algorithm (``"mvfb"``, ``"monte-carlo"`` or
+            ``"center"``); ``None`` for mappers that have no placer choice.
+        num_seeds: MVFB's seed count ``m``.  For the Monte-Carlo placer this
+            doubles as the default number of placement runs ``m'`` when
+            ``num_placements`` is not given.
+        num_placements: Monte-Carlo placement runs ``m'`` (overrides the
+            ``num_seeds`` default).
+        random_seed: Seed of all randomised placement decisions.
+        fabric: Target fabric parameters.
+
+    Example::
+
+        >>> spec = ExperimentSpec(circuit="[[5,1,3]]", mapper="qspr", placer="center")
+        >>> spec.config_label()
+        'qspr/center'
+    """
+
+    circuit: str
+    mapper: str = "qspr"
+    placer: str | None = "mvfb"
+    num_seeds: int = 3
+    num_placements: int | None = None
+    random_seed: int = 0
+    fabric: FabricCell = QUALE_FABRIC_CELL
+
+    def __post_init__(self) -> None:
+        if self.mapper not in MAPPER_NAMES:
+            raise MappingError(
+                f"unknown mapper {self.mapper!r}; expected one of {MAPPER_NAMES}"
+            )
+        if self.mapper == "qspr":
+            if self.placer not in PLACER_NAMES:
+                raise MappingError(
+                    f"unknown placer {self.placer!r}; expected one of {PLACER_NAMES}"
+                )
+            if self.num_seeds < 1:
+                raise MappingError("num_seeds must be at least 1")
+
+    @property
+    def is_benchmark(self) -> bool:
+        """Whether :attr:`circuit` names a built-in QECC benchmark."""
+        return self.circuit in BENCHMARK_NAMES
+
+    def normalized(self) -> "ExperimentSpec":
+        """A copy with axes that do not affect this mapper canonicalised.
+
+        QUALE, QPOS and the ideal baseline are deterministic and have no
+        placer, seed count or random seed; collapsing those axes lets
+        :meth:`Sweep.expand` de-duplicate the grid and gives every
+        equivalent cell the same cache key.
+
+        Example::
+
+            >>> a = ExperimentSpec("[[5,1,3]]", mapper="quale", placer="mvfb", num_seeds=9)
+            >>> b = ExperimentSpec("[[5,1,3]]", mapper="quale", placer="center", num_seeds=2)
+            >>> a.normalized() == b.normalized()
+            True
+        """
+        if self.mapper == "qspr":
+            if self.placer == PlacerKind.MONTE_CARLO.value:
+                return self
+            if self.placer == PlacerKind.CENTER.value:
+                # Center placement is deterministic: no seeds, no extra runs.
+                return replace(self, num_seeds=1, num_placements=None, random_seed=0)
+            # MVFB ignores num_placements.
+            return replace(self, num_placements=None)
+        return replace(
+            self, placer=None, num_seeds=1, num_placements=None, random_seed=0
+        )
+
+    def config_label(self) -> str:
+        """Short ``mapper[/placer]`` label used as a report column header.
+
+        Example::
+
+            >>> ExperimentSpec("[[5,1,3]]", mapper="ideal").config_label()
+            'ideal'
+        """
+        if self.mapper == "qspr" and self.placer is not None:
+            return f"{self.mapper}/{self.placer}"
+        return self.mapper
+
+    # ------------------------------------------------------------------
+    # Construction of the live objects.
+
+    def build_circuit(self) -> QuantumCircuit:
+        """Load the benchmark circuit or parse the QASM file.
+
+        Example::
+
+            >>> ExperimentSpec("[[5,1,3]]").build_circuit().num_qubits
+            5
+        """
+        if self.is_benchmark:
+            return qecc_encoder(self.circuit)
+        path = Path(self.circuit)
+        if not path.exists():
+            raise ReproError(f"QASM file not found: {path}")
+        return parse_qasm_file(path)
+
+    def build_fabric(self) -> Fabric:
+        """Construct the target fabric (see :meth:`FabricCell.build`)."""
+        return self.fabric.build()
+
+    def mapper_options(self) -> MapperOptions:
+        """The :class:`~repro.mapper.options.MapperOptions` of a QSPR cell.
+
+        Example::
+
+            >>> spec = ExperimentSpec("[[5,1,3]]", placer="monte-carlo", num_seeds=4)
+            >>> spec.mapper_options().num_placements
+            4
+        """
+        if self.mapper != "qspr":
+            raise MappingError(f"mapper {self.mapper!r} takes no options")
+        num_placements = self.num_placements
+        if self.placer == PlacerKind.MONTE_CARLO.value and num_placements is None:
+            num_placements = self.num_seeds
+        return MapperOptions(
+            placer=PlacerKind(self.placer),
+            num_seeds=self.num_seeds,
+            num_placements=num_placements,
+            random_seed=self.random_seed,
+        )
+
+    def build_mapper(self):
+        """Instantiate the mapper this cell runs (``"ideal"`` has none).
+
+        Example::
+
+            >>> type(ExperimentSpec("[[5,1,3]]", mapper="qpos").build_mapper()).__name__
+            'QposMapper'
+        """
+        if self.mapper == "quale":
+            return QualeMapper()
+        if self.mapper == "qpos":
+            return QposMapper()
+        if self.mapper == "qspr":
+            return QsprMapper(self.mapper_options())
+        raise MappingError(f"mapper {self.mapper!r} has no mapper object")
+
+    # ------------------------------------------------------------------
+    # Serialisation and content keying.
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        Example::
+
+            >>> ExperimentSpec.from_dict(ExperimentSpec("[[5,1,3]]").to_dict()).circuit
+            '[[5,1,3]]'
+        """
+        record = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "fabric"}
+        record["fabric"] = {
+            f.name: getattr(self.fabric, f.name) for f in fields(self.fabric)
+        }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(record)
+        data["fabric"] = FabricCell(**data.get("fabric", {}))
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this cell's result.
+
+        The key covers the normalised spec, the fabric geometry and — for
+        QASM-file circuits — the *content* of the file (not its path), so
+        editing the circuit invalidates the cache while moving the file does
+        not.
+
+        Example::
+
+            >>> key = ExperimentSpec("[[5,1,3]]").cache_key()
+            >>> len(key), key == ExperimentSpec("[[5,1,3]]").cache_key()
+            (64, True)
+        """
+        spec = self.normalized()
+        payload = spec.to_dict()
+        payload["schema"] = CACHE_SCHEMA
+        if not spec.is_benchmark:
+            path = Path(spec.circuit)
+            if path.exists():
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            else:  # keying a missing file is fine; running it will fail later
+                digest = "missing"
+            payload["circuit"] = {"qasm_sha256": digest}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A cross-product experiment grid.
+
+    The axes mirror the paper's evaluation: circuits × mappers × placers ×
+    fabrics × seed counts × random seeds.  Axes that do not apply to a
+    mapper (e.g. placers for QUALE) are collapsed during expansion, so the
+    grid never runs the same configuration twice.
+
+    Example::
+
+        >>> sweep = Sweep(circuits=("[[5,1,3]]", "[[7,1,3]]"),
+        ...               mappers=("qspr", "quale"), placers=("mvfb", "center"))
+        >>> len(sweep.expand())  # 2*(2 placers + 1 deduped quale cell)
+        6
+    """
+
+    circuits: tuple[str, ...]
+    mappers: tuple[str, ...] = ("qspr",)
+    placers: tuple[str, ...] = ("mvfb",)
+    num_seeds: tuple[int, ...] = (3,)
+    random_seeds: tuple[int, ...] = (0,)
+    fabrics: tuple[FabricCell, ...] = (QUALE_FABRIC_CELL,)
+
+    def __post_init__(self) -> None:
+        for name, axis in (
+            ("circuits", self.circuits),
+            ("mappers", self.mappers),
+            ("placers", self.placers),
+            ("num_seeds", self.num_seeds),
+            ("random_seeds", self.random_seeds),
+            ("fabrics", self.fabrics),
+        ):
+            if not axis:
+                raise MappingError(f"sweep axis {name!r} must not be empty")
+
+    @property
+    def size(self) -> int:
+        """Number of distinct cells (after de-duplication).
+
+        Example::
+
+            >>> Sweep(circuits=("[[5,1,3]]",), mappers=("ideal",)).size
+            1
+        """
+        return len(self.expand())
+
+    def expand(self) -> tuple[ExperimentSpec, ...]:
+        """The grid's distinct cells, in deterministic axis order.
+
+        Example::
+
+            >>> cells = Sweep(circuits=("[[5,1,3]]",), mappers=("qspr", "ideal")).expand()
+            >>> [cell.mapper for cell in cells]
+            ['qspr', 'ideal']
+        """
+        cells: dict[ExperimentSpec, None] = {}
+        for circuit in self.circuits:
+            for fabric in self.fabrics:
+                for mapper in self.mappers:
+                    for placer in self.placers:
+                        for m in self.num_seeds:
+                            for seed in self.random_seeds:
+                                spec = ExperimentSpec(
+                                    circuit=circuit,
+                                    mapper=mapper,
+                                    placer=placer if mapper == "qspr" else None,
+                                    num_seeds=m,
+                                    random_seed=seed,
+                                    fabric=fabric,
+                                ).normalized()
+                                cells.setdefault(spec, None)
+        return tuple(cells)
+
+
+def parse_axis(text: str | Sequence[str]) -> tuple[str, ...]:
+    """Split a comma-separated CLI axis value into a tuple.
+
+    Commas inside brackets do not split, so QECC benchmark names survive::
+
+        >>> parse_axis("qspr, quale")
+        ('qspr', 'quale')
+        >>> parse_axis("[[5,1,3]],[[7,1,3]]")
+        ('[[5,1,3]]', '[[7,1,3]]')
+    """
+    if not isinstance(text, str):
+        return tuple(text)
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "," and depth == 0:
+            parts.append(current)
+            current = ""
+            continue
+        depth += {"[": 1, "]": -1}.get(char, 0)
+        current += char
+    parts.append(current)
+    return tuple(part.strip() for part in parts if part.strip())

@@ -1,0 +1,71 @@
+"""Hit/miss behaviour of the content-keyed result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner import CellResult, ExperimentSpec, FabricCell, ResultCache
+
+TINY = FabricCell(junction_rows=4, junction_cols=4)
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    defaults = dict(circuit="[[5,1,3]]", num_seeds=2, fabric=TINY)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def _result() -> CellResult:
+    return CellResult(circuit="[[5,1,3]]", mapper="qspr", placer="mvfb", latency=612.0)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        assert cache.load(spec) is None
+        cache.store(spec, _result())
+        hit = cache.load(spec)
+        assert hit is not None
+        assert hit.latency == 612.0
+        assert hit.from_cache is True
+        assert len(cache) == 1
+
+    def test_different_spec_still_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_spec(), _result())
+        assert cache.load(_spec(num_seeds=3)) is None
+        assert cache.load(_spec(random_seed=1)) is None
+
+    def test_normalised_specs_share_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stored = _spec(mapper="quale", placer="mvfb", num_seeds=5)
+        cache.store(stored, CellResult(circuit="[[5,1,3]]", mapper="quale", latency=900.0))
+        equivalent = _spec(mapper="quale", placer="center", num_seeds=1)
+        hit = cache.load(equivalent)
+        assert hit is not None and hit.latency == 900.0
+
+    def test_corrupted_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        cache.store(spec, _result())
+        (path,) = (tmp_path / "cache").glob("*.json")
+        path.write_text("{not json")
+        assert cache.load(spec) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        cache.store(spec, _result())
+        (path,) = (tmp_path / "cache").glob("*.json")
+        record = json.loads(path.read_text())
+        record["key"] = "0" * 64
+        path.write_text(json.dumps(record))
+        assert cache.load(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_spec(), _result())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.clear() == 0

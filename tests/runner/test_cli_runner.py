@@ -1,0 +1,94 @@
+"""CLI smoke tests for the sweep/report subcommands and the legacy shim."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+_SWEEP_ARGS = [
+    "sweep",
+    "--benchmarks", "[[5,1,3]],[[7,1,3]]",
+    "--mappers", "qspr,quale",
+    "--placers", "mvfb,monte-carlo",
+    "--seeds", "2",
+    "--fabric-rows", "4",
+    "--fabric-cols", "4",
+]
+
+
+class TestSweepCommand:
+    def test_sweep_writes_results_and_reuses_cache(self, tmp_path, capsys):
+        args = _SWEEP_ARGS + ["--out", str(tmp_path / "out")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "qspr/mvfb" in first and "qspr/monte-carlo" in first and "quale" in first
+        assert "6 executed, 0 from cache" in first
+
+        results_json = tmp_path / "out" / "results.json"
+        results_csv = tmp_path / "out" / "results.csv"
+        assert results_json.exists() and results_csv.exists()
+        records = json.loads(results_json.read_text())
+        assert len(records) == 6  # 2 circuits x (2 qspr placers + quale)
+        assert {record["circuit"] for record in records} == {"[[5,1,3]]", "[[7,1,3]]"}
+
+        # Second invocation: every cell served from the cache.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 6 from cache" in second
+
+    def test_no_cache_forces_execution(self, tmp_path, capsys):
+        args = _SWEEP_ARGS + ["--out", str(tmp_path / "out")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-cache"]) == 0
+        assert "6 executed, 0 from cache" in capsys.readouterr().out
+
+    def test_parallel_sweep_matches_sequential(self, tmp_path, capsys):
+        assert main(_SWEEP_ARGS + ["--out", str(tmp_path / "a"), "--no-cache"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(_SWEEP_ARGS + ["--out", str(tmp_path / "b"), "--no-cache", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        table = lambda text: text.split("Sweep cells")[0]  # noqa: E731 - latency table only
+        assert table(sequential) == table(parallel)
+
+
+class TestReportCommand:
+    def test_report_renders_saved_results(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(_SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        csv_copy = tmp_path / "copy.csv"
+        assert main(["report", str(out / "results.json"), "--csv", str(csv_copy)]) == 0
+        text = capsys.readouterr().out
+        assert "Latency (us)" in text and "[[5,1,3]]" in text
+        assert csv_copy.exists()
+
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopLevel:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_legacy_invocation_still_maps(self, capsys):
+        rc = main(["--benchmark", "[[5,1,3]]", "--placer", "center"])
+        assert rc == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_explicit_run_subcommand(self, capsys):
+        rc = main(["run", "--benchmark", "[[5,1,3]]", "--placer", "center"])
+        assert rc == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

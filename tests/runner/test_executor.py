@@ -1,0 +1,122 @@
+"""Execution semantics: cells, caching, and parallel/sequential equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    ExperimentSpec,
+    FabricCell,
+    ResultCache,
+    Sweep,
+    execute_cell,
+    run_sweep,
+)
+
+TINY = FabricCell(junction_rows=4, junction_cols=4)
+
+SWEEP = Sweep(
+    circuits=("[[5,1,3]]", "[[7,1,3]]"),
+    mappers=("ideal", "qspr", "quale"),
+    placers=("mvfb", "monte-carlo"),
+    num_seeds=(2,),
+    fabrics=(TINY,),
+)
+
+
+class TestExecuteCell:
+    def test_qspr_cell(self):
+        cell = execute_cell(ExperimentSpec("[[5,1,3]]", num_seeds=2, fabric=TINY))
+        assert cell.mapper == "qspr" and cell.placer == "mvfb"
+        assert cell.latency > cell.ideal_latency > 0
+        assert cell.placement_runs >= 2
+        assert cell.fabric == TINY.label
+
+    def test_ideal_cell_has_no_overhead(self):
+        cell = execute_cell(ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY))
+        assert cell.latency == cell.ideal_latency
+        assert cell.overhead_vs_ideal == 0.0
+
+    def test_qasm_file_cell(self, tmp_path):
+        path = tmp_path / "bell.qasm"
+        path.write_text("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n")
+        cell = execute_cell(ExperimentSpec(str(path), placer="center", fabric=TINY))
+        assert cell.latency > 0
+
+
+class TestRunSweep:
+    def test_results_follow_grid_order(self):
+        run = run_sweep(SWEEP)
+        assert run.total == len(SWEEP.expand()) == len(run.results)
+        assert run.executed == run.total and run.cached == 0
+        for spec, result in zip(run.specs, run.results):
+            assert spec.circuit == result.circuit
+            assert spec.mapper == result.mapper
+
+    def test_cache_makes_second_run_free(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(SWEEP, cache=cache)
+        assert (first.executed, first.cached) == (first.total, 0)
+        second = run_sweep(SWEEP, cache=cache)
+        assert (second.executed, second.cached) == (0, second.total)
+        assert [r.latency for r in first.results] == [r.latency for r in second.results]
+        assert all(r.from_cache for r in second.results)
+
+    def test_parallel_equals_sequential(self):
+        sequential = run_sweep(SWEEP, workers=1)
+        parallel = run_sweep(SWEEP, workers=2)
+        assert [r.latency for r in sequential.results] == [r.latency for r in parallel.results]
+        assert [r.placement_runs for r in sequential.results] == [
+            r.placement_runs for r in parallel.results
+        ]
+
+    def test_explicit_spec_list(self):
+        specs = [
+            ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY),
+            ExperimentSpec("[[5,1,3]]", placer="center", fabric=TINY),
+        ]
+        run = run_sweep(specs)
+        assert [r.config_label for r in run.results] == ["ideal", "qspr/center"]
+
+    def test_progress_callback_streams_as_cells_complete(self):
+        specs = [
+            ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY),
+            ExperimentSpec("[[5,1,3]]", placer="center", fabric=TINY),
+        ]
+        seen: list[tuple[int, int, str]] = []
+        completed_so_far: list[int] = []
+
+        def progress(index, total, result):
+            seen.append((index, total, result.config_label))
+            completed_so_far.append(len(seen))
+
+        run = run_sweep(specs, progress=progress)
+        assert run.total == 2
+        # One callback per cell, fired incrementally (1st call sees 1 done, ...).
+        assert [entry[:2] for entry in seen] == [(0, 2), (1, 2)]
+        assert completed_so_far == [1, 2]
+
+    def test_progress_callback_fires_for_cache_hits(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY)
+        run_sweep([spec], cache=cache)
+        seen = []
+        run_sweep([spec], cache=cache, progress=lambda i, t, r: seen.append(r.from_cache))
+        assert seen == [True]
+
+    def test_worker_error_propagates(self, tmp_path):
+        missing = ExperimentSpec(str(tmp_path / "nope.qasm"), fabric=TINY)
+        with pytest.raises(Exception):
+            run_sweep([missing])
+
+    def test_cell_error_propagates_from_parallel_run(self, tmp_path):
+        from repro.errors import ReproError
+
+        specs = [
+            ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY),
+            ExperimentSpec(str(tmp_path / "nope.qasm"), fabric=TINY),
+        ]
+        with pytest.raises(ReproError):
+            run_sweep(specs, workers=2)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that files referenced by the documentation actually exist.
+
+Scans the repo's markdown documentation (``README.md`` and ``docs/``) for
+
+* markdown links with relative targets — ``[text](docs/ARCHITECTURE.md)``,
+* backtick-quoted repo paths — `` `src/repro/cli.py` `` (any token that
+  contains a ``/`` and looks like a path; trailing ``/`` marks a directory),
+
+and verifies each target exists relative to the repo root.  External links
+(``http(s)://``) and anchors are ignored.  Exits non-zero listing every
+missing reference, so CI catches documentation drift.
+
+Usage::
+
+    python tools/check_docs_links.py [markdown files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backtick-quoted tokens that look like repo-relative file paths.
+_BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+/?|\.[A-Za-z0-9_.\-]+/[A-Za-z0-9_./\-]+)`")
+
+
+def _default_documents() -> list[Path]:
+    documents = [REPO_ROOT / "README.md"]
+    documents.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [doc for doc in documents if doc.exists()]
+
+
+def referenced_paths(markdown: str) -> set[str]:
+    """Repo-relative path references found in ``markdown`` text."""
+    targets: set[str] = set()
+    for match in _MD_LINK.finditer(markdown):
+        target = match.group(1).split("#")[0]
+        if target and "://" not in target and not target.startswith("mailto:"):
+            targets.add(target)
+    for match in _BACKTICK_PATH.finditer(markdown):
+        targets.add(match.group(1))
+    return targets
+
+
+def missing_references(documents: list[Path]) -> list[tuple[Path, str]]:
+    """``(document, reference)`` pairs whose target does not exist."""
+    missing: list[tuple[Path, str]] = []
+    for document in documents:
+        for target in sorted(referenced_paths(document.read_text())):
+            resolved = (REPO_ROOT / target).resolve()
+            if not resolved.exists():
+                missing.append((document, target))
+    return missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    documents = [Path(arg) for arg in arguments] if arguments else _default_documents()
+    missing = missing_references(documents)
+    for document, target in missing:
+        print(f"{document.relative_to(REPO_ROOT)}: missing reference -> {target}")
+    if missing:
+        return 1
+    checked = sum(len(referenced_paths(doc.read_text())) for doc in documents)
+    print(f"checked {checked} references across {len(documents)} documents: all exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
