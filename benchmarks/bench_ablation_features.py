@@ -22,10 +22,7 @@ from repro.analysis.tables import format_comparison_table
 
 
 from report_util import emit as _emit
-from repro.circuits.qecc import qecc_encoder
-from repro.fabric.builder import quale_fabric
-from repro.mapper.options import MapperOptions, PlacerKind
-from repro.mapper.qspr import QsprMapper
+from repro import map_circuit
 from repro.routing.router import MeetingPoint
 
 BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
@@ -33,10 +30,12 @@ BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
 _CIRCUITS = ("[[9,1,3]]", "[[23,1,7]]")
 
 #: Ablation variants: label -> option overrides relative to full QSPR.
+#: Circuit, fabric and placer names are resolved through the plugin
+#: registries by :func:`repro.map_circuit`.
 _VARIANTS: dict[str, dict] = {
     "full QSPR": {},
     "no multiplexing (capacity 1)": {"channel_capacity": 1},
-    "center placement (no MVFB)": {"placer": PlacerKind.CENTER},
+    "center placement (no MVFB)": {"placer": "center"},
     "turn-oblivious routing": {"turn_aware_routing": False},
     "single-operand movement": {"meeting_point": MeetingPoint.DESTINATION},
 }
@@ -47,8 +46,7 @@ _EXPECTED = len(_CIRCUITS) * len(_VARIANTS)
 
 def _map_variant(name: str, label: str):
     overrides = dict(_VARIANTS[label])
-    options = MapperOptions(num_seeds=BENCH_SEEDS, **overrides)
-    return QsprMapper(options).map(qecc_encoder(name), quale_fabric())
+    return map_circuit(name, "quale", num_seeds=BENCH_SEEDS, **overrides)
 
 
 @pytest.mark.parametrize("label", list(_VARIANTS))

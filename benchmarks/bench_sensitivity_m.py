@@ -17,10 +17,7 @@ from repro.analysis.tables import format_comparison_table
 
 
 from report_util import emit as _emit
-from repro.circuits.qecc import qecc_encoder
-from repro.fabric.builder import quale_fabric
-from repro.mapper.options import MapperOptions, PlacerKind
-from repro.mapper.qspr import QsprMapper
+from repro import map_circuit
 
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -31,12 +28,11 @@ _EXPECTED_ROWS = len(_CIRCUITS) * len(_SEED_COUNTS)
 
 
 def _sweep_point(name: str, m: int):
-    fabric = quale_fabric()
-    circuit = qecc_encoder(name)
-    mvfb = QsprMapper(MapperOptions(placer=PlacerKind.MVFB, num_seeds=m)).map(circuit, fabric)
-    matched = QsprMapper(
-        MapperOptions(placer=PlacerKind.MONTE_CARLO, num_placements=mvfb.placement_runs)
-    ).map(circuit, fabric)
+    # Circuit, fabric and placer names resolve through the plugin registries.
+    mvfb = map_circuit(name, "quale", placer="mvfb", num_seeds=m)
+    matched = map_circuit(
+        name, "quale", placer="monte-carlo", num_placements=mvfb.placement_runs
+    )
     return mvfb, matched
 
 

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro import MapperOptions, QsprMapper, quale_fabric
+from repro import map_circuit
 from repro.analysis import format_comparison_table
-from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
-from repro.mapper.options import PlacerKind
+from repro.circuits.qecc import BENCHMARK_NAMES
 
 
 def main() -> None:
@@ -28,18 +27,13 @@ def main() -> None:
     parser.add_argument("--seeds", type=int, default=5, help="MVFB random seeds m (default: 5)")
     args = parser.parse_args()
 
-    fabric = quale_fabric()
-    circuit = qecc_encoder(args.circuit)
-
-    mvfb = QsprMapper(MapperOptions(placer=PlacerKind.MVFB, num_seeds=args.seeds)).map(
-        circuit, fabric
+    # Every placer is addressed by its registry name through the facade.
+    mvfb = map_circuit(args.circuit, "quale", placer="mvfb", num_seeds=args.seeds)
+    monte_carlo = map_circuit(
+        args.circuit, "quale", placer="monte-carlo",
+        num_placements=2 * mvfb.placement_runs,
     )
-    monte_carlo = QsprMapper(
-        MapperOptions(
-            placer=PlacerKind.MONTE_CARLO, num_placements=2 * mvfb.placement_runs
-        )
-    ).map(circuit, fabric)
-    center = QsprMapper(MapperOptions(placer=PlacerKind.CENTER)).map(circuit, fabric)
+    center = map_circuit(args.circuit, "quale", placer="center")
 
     rows = [
         ("MVFB", mvfb.latency, mvfb.placement_runs, round(mvfb.cpu_seconds * 1000)),

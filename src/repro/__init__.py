@@ -19,8 +19,18 @@ The public API is organised by pipeline stage:
 * :mod:`repro.analysis` — latency metrics, error models and table formatting.
 * :mod:`repro.viz` — ASCII renderings of fabrics and traces.
 * :mod:`repro.runner` — batch experiment runner: sweeps, caching, reports.
+* :mod:`repro.pipeline` — the composable mapping pipeline and the plugin
+  registries (mappers, placers, fabrics, circuits) behind every name in the
+  system.
 
-A typical end-to-end use::
+The one-call facade resolves every argument through the registries::
+
+    import repro
+
+    result = repro.map_circuit("[[5,1,3]]", "quale", mapper="qspr", placer="mvfb")
+    print(result.latency)
+
+Equivalent explicit construction::
 
     from repro import quale_fabric, qecc_encoder, QsprMapper
 
@@ -28,6 +38,10 @@ A typical end-to-end use::
     fabric = quale_fabric()
     result = QsprMapper().map(circuit, fabric)
     print(result.latency)
+
+Third-party plugins register through decorators (``@PLACERS.register("x")``,
+…) and are then selectable by name everywhere — the facade, experiment
+sweeps and the ``qspr-map`` CLI.  See ``docs/PIPELINE.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +68,7 @@ from repro.mapper import (
     IdealBaseline,
     MapperOptions,
     MappingResult,
+    PlacerKind,
     QposMapper,
     QsprMapper,
     QualeMapper,
@@ -67,6 +82,20 @@ from repro.runner import (
     Sweep,
     execute_cell,
     run_sweep,
+)
+from repro.pipeline import (
+    CIRCUITS,
+    FABRICS,
+    MAPPERS,
+    PLACERS,
+    REGISTRIES,
+    MappingPipeline,
+    PipelineContext,
+    PipelineObserver,
+    PlacementOutcome,
+    Registry,
+    RegistryError,
+    map_circuit,
 )
 
 __all__ = [
@@ -98,6 +127,7 @@ __all__ = [
     "small_fabric",
     "MapperOptions",
     "MappingResult",
+    "PlacerKind",
     "QsprMapper",
     "QualeMapper",
     "QposMapper",
@@ -113,6 +143,18 @@ __all__ = [
     "Sweep",
     "execute_cell",
     "run_sweep",
+    "map_circuit",
+    "Registry",
+    "RegistryError",
+    "MAPPERS",
+    "PLACERS",
+    "FABRICS",
+    "CIRCUITS",
+    "REGISTRIES",
+    "MappingPipeline",
+    "PipelineContext",
+    "PipelineObserver",
+    "PlacementOutcome",
 ]
 
 __version__ = "1.0.0"

@@ -1,24 +1,32 @@
 """Command-line interface: ``qspr-map``.
 
-Three subcommands cover the single-shot and batch workflows:
+Four subcommands cover the single-shot, batch and discovery workflows:
 
-* ``qspr-map run`` — map one QASM file (or built-in QECC benchmark) onto an
-  ion-trap fabric and print the latency report.  For backward compatibility
-  the subcommand may be omitted: ``qspr-map --benchmark "[[5,1,3]]"`` is
-  equivalent to ``qspr-map run --benchmark "[[5,1,3]]"``.
+* ``qspr-map run`` — map one QASM file (or registered benchmark circuit)
+  onto an ion-trap fabric and print the latency report.  For backward
+  compatibility the subcommand may be omitted: ``qspr-map --benchmark
+  "[[5,1,3]]"`` is equivalent to ``qspr-map run --benchmark "[[5,1,3]]"``.
 * ``qspr-map sweep`` — expand a mappers × placers × circuits × seeds grid,
   execute it (process-parallel with ``--jobs``, cached on disk) and write
   JSON + CSV results plus a latency comparison table.
 * ``qspr-map report`` — re-render the tables from a previous sweep's
   ``results.json`` without re-running anything.
+* ``qspr-map list`` — enumerate every plugin registered in the mapper,
+  placer, fabric and circuit registries (built-ins and third-party).
+
+Every mapper, placer, fabric and circuit name on the command line is
+resolved through the :mod:`repro.pipeline` registries, so plugins imported
+before the CLI builds its parser are selectable like built-ins.
 
 Examples::
 
     qspr-map --benchmark "[[5,1,3]]"
     qspr-map run circuit.qasm --mapper quale --fabric-rows 12 --fabric-cols 22
+    qspr-map run --benchmark ghz --fabric small --placer center
     qspr-map sweep --benchmarks "[[5,1,3]],[[7,1,3]]" --mappers qspr,quale \\
         --placers mvfb,monte-carlo --out sweep-out --jobs 4
     qspr-map report sweep-out/results.json
+    qspr-map list --registry placers
 """
 
 from __future__ import annotations
@@ -29,16 +37,18 @@ from pathlib import Path
 
 import repro
 from repro.analysis.metrics import latency_breakdown
-from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
 from repro.errors import ReproError
-from repro.fabric.builder import FabricSpec, build_fabric, quale_fabric
-from repro.mapper.options import MapperOptions, PlacerKind
-from repro.mapper.qpos import QposMapper
-from repro.mapper.qspr import QsprMapper
-from repro.mapper.quale import QualeMapper
-from repro.qasm.parser import parse_qasm_file
+from repro.mapper.options import MapperOptions
+from repro.pipeline import (
+    CIRCUITS,
+    MAPPERS,
+    PLACERS,
+    REGISTRIES,
+    resolve_circuit,
+    resolve_fabric,
+    resolve_mapper,
+)
 from repro.runner import (
-    MAPPER_NAMES,
     ExperimentSpec,
     FabricCell,
     ResultCache,
@@ -54,7 +64,7 @@ from repro.runner import (
 from repro.viz.trace_render import render_gantt
 
 #: Subcommand names; anything else on the command line means legacy ``run``.
-_COMMANDS = ("run", "sweep", "report")
+_COMMANDS = ("run", "sweep", "report", "list")
 
 
 def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
@@ -74,20 +84,20 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument("qasm", nargs="?", help="path to a QASM file")
     source.add_argument(
         "--benchmark",
-        choices=list(BENCHMARK_NAMES),
-        help="use one of the paper's QECC benchmark circuits",
+        choices=list(CIRCUITS.names()),
+        help="use a registered benchmark circuit (see `qspr-map list`)",
     )
     parser.add_argument(
         "--mapper",
-        choices=["qspr", "quale", "qpos"],
+        choices=list(MAPPERS.names()),
         default="qspr",
-        help="which mapper to run (default: qspr)",
+        help="which registered mapper to run (default: qspr)",
     )
     parser.add_argument(
         "--placer",
-        choices=[kind.value for kind in PlacerKind],
-        default=PlacerKind.MVFB.value,
-        help="placement algorithm for the QSPR mapper (default: mvfb)",
+        choices=list(PLACERS.names()),
+        default="mvfb",
+        help="registered placement algorithm for the QSPR mapper (default: mvfb)",
     )
     parser.add_argument("--seeds", type=int, default=5, help="MVFB random seeds m (default: 5)")
     parser.add_argument(
@@ -97,6 +107,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="Monte-Carlo placement runs m' (required with --placer monte-carlo)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    parser.add_argument(
+        "--fabric",
+        default=None,
+        help="registered fabric name (e.g. quale, small, linear) or a "
+        "geometry label like 4x4c3; overrides the --fabric-* flags",
+    )
     _add_fabric_arguments(parser)
     parser.add_argument("--show-trace", action="store_true", help="print a per-qubit Gantt chart")
 
@@ -111,12 +127,13 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mappers",
         default="qspr,quale",
-        help=f"comma-separated mappers from {MAPPER_NAMES} (default: qspr,quale)",
+        help=f"comma-separated registered mappers from {MAPPERS.names()} "
+        "(default: qspr,quale)",
     )
     parser.add_argument(
         "--placers",
         default="mvfb",
-        help="comma-separated QSPR placers (default: mvfb)",
+        help="comma-separated registered QSPR placers (default: mvfb)",
     )
     parser.add_argument(
         "--seeds",
@@ -177,43 +194,54 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--csv", default=None, help="also write the results as CSV to this path"
     )
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered mapper, placer, fabric and circuit"
+    )
+    list_parser.add_argument(
+        "--registry",
+        choices=sorted(REGISTRIES),
+        default=None,
+        help="limit the listing to one registry (default: all four)",
+    )
     return parser
 
 
 def _load_circuit(args: argparse.Namespace):
     if args.benchmark:
-        return qecc_encoder(args.benchmark)
+        return resolve_circuit(args.benchmark)
     path = Path(args.qasm)
     if not path.exists():
         raise ReproError(f"QASM file not found: {path}")
+    # The positional argument explicitly names a file: parse it directly, so
+    # a file that happens to share a registry name (e.g. "ghz") still wins.
+    from repro.qasm.parser import parse_qasm_file
+
     return parse_qasm_file(path)
 
 
 def _build_fabric(args: argparse.Namespace):
+    if args.fabric:
+        return resolve_fabric(args.fabric)
     if (args.fabric_rows, args.fabric_cols, args.channel_length) == (12, 22, 3):
-        return quale_fabric()
-    return build_fabric(
-        FabricSpec(
-            name=f"cli-{args.fabric_rows}x{args.fabric_cols}",
-            junction_rows=args.fabric_rows,
-            junction_cols=args.fabric_cols,
-            channel_length=args.channel_length,
-        )
+        return resolve_fabric("quale")
+    return resolve_fabric(
+        "grid",
+        junction_rows=args.fabric_rows,
+        junction_cols=args.fabric_cols,
+        channel_length=args.channel_length,
+        name=f"cli-{args.fabric_rows}x{args.fabric_cols}",
     )
 
 
 def _build_mapper(args: argparse.Namespace):
-    if args.mapper == "quale":
-        return QualeMapper()
-    if args.mapper == "qpos":
-        return QposMapper()
     options = MapperOptions(
-        placer=PlacerKind(args.placer),
+        placer=args.placer,
         num_seeds=args.seeds,
         num_placements=args.placements,
         random_seed=args.seed,
     )
-    return QsprMapper(options)
+    return resolve_mapper(args.mapper, options)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -273,6 +301,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_list(args: argparse.Namespace) -> int:
+    """Print the contents of the plugin registries (``qspr-map list``)."""
+    selected = [args.registry] if args.registry else list(REGISTRIES)
+    width = max(len(title) for title in selected)
+    for title in selected:
+        registry = REGISTRIES[title]
+        print(f"{title:<{width}} : {', '.join(registry.names())}")
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     path = Path(args.results)
     if not path.exists():
@@ -305,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "report": _command_report,
+        "list": _command_list,
     }[args.command]
     try:
         return handler(args)

@@ -19,7 +19,14 @@ from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
 
 
 class PlacerKind(Enum):
-    """Which placement algorithm a mapper uses."""
+    """The built-in placement algorithms.
+
+    Kept for backwards compatibility and convenient literals; the canonical
+    identifier of a placer is its *registry name* (the enum value), which is
+    what :data:`repro.pipeline.PLACERS` is keyed by.  Custom placers have no
+    enum member — pass their registry name as a plain string wherever a
+    placer is selected (``MapperOptions(placer="my-placer")``).
+    """
 
     MVFB = "mvfb"
     MONTE_CARLO = "monte-carlo"
@@ -44,7 +51,9 @@ class MapperOptions:
         channel_capacity: Channel capacity override; ``None`` uses the
             technology's value (2 for the paper's QSPR, 1 for prior tools).
         trap_candidates: Number of nearest-to-median traps the router tries.
-        placer: Placement algorithm.
+        placer: Placement algorithm — a :class:`PlacerKind` member or the
+            registry name of any placer in :data:`repro.pipeline.PLACERS`
+            (which is how third-party placers are selected).
         num_seeds: MVFB's number of random seeds ``m``.
         num_placements: Monte-Carlo's number of placement runs ``m'``
             (required when ``placer`` is Monte-Carlo).
@@ -60,7 +69,7 @@ class MapperOptions:
     meeting_point: MeetingPoint = MeetingPoint.MEDIAN
     channel_capacity: int | None = None
     trap_candidates: int = 4
-    placer: PlacerKind = PlacerKind.MVFB
+    placer: PlacerKind | str = PlacerKind.MVFB
     num_seeds: int = 25
     num_placements: int | None = None
     mvfb_patience: int = 3
@@ -68,6 +77,12 @@ class MapperOptions:
     random_seed: int = 0
 
     def __post_init__(self) -> None:
+        if not isinstance(self.placer, PlacerKind) and (
+            not isinstance(self.placer, str) or not self.placer
+        ):
+            raise MappingError(
+                f"placer must be a PlacerKind or a registry name, got {self.placer!r}"
+            )
         if self.num_seeds < 1:
             raise MappingError("num_seeds must be at least 1")
         if self.num_placements is not None and self.num_placements < 1:
@@ -76,6 +91,11 @@ class MapperOptions:
             raise MappingError("channel_capacity must be at least 1")
         if self.trap_candidates < 1:
             raise MappingError("trap_candidates must be at least 1")
+
+    @property
+    def placer_name(self) -> str:
+        """The placer's registry name (the key into ``repro.pipeline.PLACERS``)."""
+        return self.placer.value if isinstance(self.placer, PlacerKind) else self.placer
 
     @property
     def effective_channel_capacity(self) -> int:
@@ -93,15 +113,24 @@ class MapperOptions:
             trap_candidates=self.trap_candidates,
         )
 
-    def with_placer(self, placer: PlacerKind, **changes) -> "MapperOptions":
+    def with_placer(self, placer: PlacerKind | str, **changes) -> "MapperOptions":
         """A copy of the options with a different placer (and other changes)."""
         return replace(self, placer=placer, **changes)
 
     def describe(self) -> str:
-        """One-line human-readable summary used in logs and reports."""
-        return (
-            f"placer={self.placer.value} priority={self.priority_policy.value} "
+        """One-line human-readable summary used in logs and reports.
+
+        Identifies a run completely: besides the placer/scheduling/routing
+        choices it includes the router's candidate-trap count and — for the
+        Monte-Carlo placer — the placement-run budget ``m'``.
+        """
+        text = (
+            f"placer={self.placer_name} priority={self.priority_policy.value} "
             f"barriers={self.barrier_scheduling} turn_aware={self.turn_aware_routing} "
             f"meeting={self.meeting_point.value} "
-            f"capacity={self.effective_channel_capacity} m={self.num_seeds}"
+            f"capacity={self.effective_channel_capacity} "
+            f"traps={self.trap_candidates} m={self.num_seeds}"
         )
+        if self.placer_name == PlacerKind.MONTE_CARLO.value:
+            text += f" m'={self.num_placements}"
+        return text

@@ -1,32 +1,30 @@
 """The QSPR mapper: the paper's scheduling + placement + routing tool.
 
-:class:`QsprMapper` wires the pieces together: it builds the QIDG (and, for
-MVFB, the UIDG), constructs forward/backward simulation passes, drives the
-selected placer and packages the winning pass into a
-:class:`~repro.mapper.result.MappingResult`.
+:class:`QsprMapper` is a thin configuration shim over the staged
+:class:`~repro.pipeline.stages.MappingPipeline`
+(build-QIDG → place → simulate → package-result).  The placer is resolved by
+name through the :data:`repro.pipeline.PLACERS` registry, so any
+decorator-registered strategy — not just the paper's MVFB/Monte-Carlo/center
+trio — plugs in via ``MapperOptions(placer="<name>")`` without modifying this
+class.
 
 Concrete baseline mappers (:class:`~repro.mapper.quale.QualeMapper`,
-:class:`~repro.mapper.qpos.QposMapper`) are thin configuration presets over
-the same machinery.
+:class:`~repro.mapper.qpos.QposMapper`) are option presets over the same
+pipeline.
 """
 
 from __future__ import annotations
 
-import time as _time
+from typing import TYPE_CHECKING
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.errors import MappingError
 from repro.fabric.fabric import Fabric
-from repro.mapper.options import MapperOptions, PlacerKind
+from repro.mapper.options import MapperOptions
 from repro.mapper.result import MappingResult
-from repro.placement.base import Placement
-from repro.placement.center import CenterPlacer
-from repro.placement.monte_carlo import MonteCarloPlacer
-from repro.placement.mvfb import MvfbPlacer, MvfbResult
-from repro.qidg.analysis import critical_path_latency
-from repro.qidg.graph import QIDG, build_qidg
-from repro.qidg.uidg import reverse_schedule
-from repro.sim.engine import FabricSimulator, SimulationOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.context import PipelineObserver
+    from repro.pipeline.stages import MappingPipeline
 
 
 class QsprMapper:
@@ -38,203 +36,37 @@ class QsprMapper:
     def __init__(self, options: MapperOptions | None = None) -> None:
         self.options = options if options is not None else MapperOptions()
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def map(self, circuit: QuantumCircuit, fabric: Fabric) -> MappingResult:
+    def pipeline(self) -> "MappingPipeline":
+        """The staged pipeline this mapper runs (override to customise)."""
+        # Imported lazily: repro.pipeline registers this class's factory, so
+        # a module-level import would be circular.
+        from repro.pipeline.stages import MappingPipeline
+
+        return MappingPipeline.standard()
+
+    def map(
+        self,
+        circuit: QuantumCircuit,
+        fabric: Fabric,
+        *,
+        observer: "PipelineObserver | None" = None,
+    ) -> MappingResult:
         """Map ``circuit`` onto ``fabric`` and return the best realisation.
+
+        Args:
+            circuit: The circuit to map (must contain instructions).
+            fabric: The target fabric.
+            observer: Optional per-stage hooks (see
+                :class:`~repro.pipeline.context.PipelineObserver`).
 
         Raises:
             MappingError: If the circuit cannot be mapped with the selected
                 options (e.g. MVFB placement of a circuit with measurements,
-                which cannot be uncomputed).
+                which cannot be uncomputed) or the placer name is unknown.
         """
-        if circuit.num_instructions == 0:
-            raise MappingError("cannot map an empty circuit")
-        options = self.options
-        started = _time.perf_counter()
-        qidg = build_qidg(circuit)
-        ideal = critical_path_latency(qidg, options.technology)
-
-        forward_sim = self._make_simulator(circuit, fabric, qidg)
-
-        if options.placer is PlacerKind.CENTER:
-            result = self._map_with_center(circuit, fabric, forward_sim, ideal)
-        elif options.placer is PlacerKind.MONTE_CARLO:
-            result = self._map_with_monte_carlo(circuit, fabric, forward_sim, ideal)
-        elif options.placer is PlacerKind.MVFB:
-            result = self._map_with_mvfb(circuit, fabric, forward_sim, qidg, ideal)
-        else:  # pragma: no cover - exhaustive over the enum
-            raise MappingError(f"unknown placer {options.placer!r}")
-
-        result.cpu_seconds = _time.perf_counter() - started
-        return result
-
-    # ------------------------------------------------------------------
-    # Pass construction
-    # ------------------------------------------------------------------
-    def _make_simulator(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        qidg: QIDG,
-        forced_order: list[int] | None = None,
-    ) -> FabricSimulator:
-        options = self.options
-        return FabricSimulator(
-            circuit,
-            fabric,
-            options.technology,
-            routing_policy=options.routing_policy(),
-            priority_policy=options.priority_policy,
-            forced_order=forced_order,
-            qidg=qidg,
-            barrier_scheduling=options.barrier_scheduling and forced_order is None,
+        pipeline = self.pipeline()
+        if observer is not None:
+            pipeline = pipeline.with_observer(observer)
+        return pipeline.run(
+            circuit, fabric, options=self.options, mapper_name=self.name
         )
-
-    # ------------------------------------------------------------------
-    # Placer-specific flows
-    # ------------------------------------------------------------------
-    def _map_with_center(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        forward_sim: FabricSimulator,
-        ideal: float,
-    ) -> MappingResult:
-        placement = CenterPlacer(fabric).place(circuit)
-        outcome = forward_sim.run(placement)
-        return self._result_from_outcome(
-            circuit, fabric, outcome, ideal, direction="forward", placement_runs=1
-        )
-
-    def _map_with_monte_carlo(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        forward_sim: FabricSimulator,
-        ideal: float,
-    ) -> MappingResult:
-        options = self.options
-        if options.num_placements is None:
-            raise MappingError(
-                "the Monte-Carlo placer requires MapperOptions.num_placements (the paper's m')"
-            )
-        placer = MonteCarloPlacer(fabric, forward_sim.run)
-        mc = placer.run(circuit, options.num_placements, seed=options.random_seed)
-        return self._result_from_outcome(
-            circuit,
-            fabric,
-            mc.best_outcome,
-            ideal,
-            direction="forward",
-            placement_runs=mc.num_runs,
-        )
-
-    def _map_with_mvfb(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        forward_sim: FabricSimulator,
-        qidg: QIDG,
-        ideal: float,
-    ) -> MappingResult:
-        options = self.options
-        if any(instruction.is_measurement for instruction in circuit.instructions):
-            raise MappingError(
-                "MVFB placement requires a reversible circuit; remove measurements or "
-                "use the Monte-Carlo/center placer"
-            )
-        inverse_circuit = circuit.inverse()
-        uidg = build_qidg(inverse_circuit)
-
-        def backward(placement: Placement, forward_schedule: list[int]) -> SimulationOutcome:
-            order = reverse_schedule(forward_schedule, circuit.num_instructions)
-            simulator = self._make_simulator(inverse_circuit, fabric, uidg, forced_order=order)
-            return simulator.run(placement)
-
-        placer = MvfbPlacer(
-            fabric,
-            forward_sim.run,
-            backward,
-            patience=options.mvfb_patience,
-            max_runs_per_seed=options.mvfb_max_runs_per_seed,
-        )
-        mvfb = placer.run(circuit, options.num_seeds, seed=options.random_seed)
-        return self._result_from_mvfb(circuit, fabric, mvfb, ideal)
-
-    # ------------------------------------------------------------------
-    # Result packaging
-    # ------------------------------------------------------------------
-    def _result_from_outcome(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        outcome: SimulationOutcome,
-        ideal: float,
-        *,
-        direction: str,
-        placement_runs: int,
-    ) -> MappingResult:
-        return MappingResult(
-            circuit_name=circuit.name,
-            fabric_name=fabric.name,
-            mapper_name=self.name,
-            latency=outcome.latency,
-            ideal_latency=ideal,
-            schedule=list(outcome.schedule),
-            initial_placement=outcome.initial_placement,
-            final_placement=outcome.final_placement,
-            trace=outcome.trace,
-            records=outcome.records,
-            direction=direction,
-            placement_runs=placement_runs,
-            total_moves=outcome.total_moves,
-            total_turns=outcome.total_turns,
-            total_congestion_delay=outcome.total_congestion_delay,
-            cpu_seconds=outcome.cpu_seconds,
-            options=self.options,
-        )
-
-    def _result_from_mvfb(
-        self,
-        circuit: QuantumCircuit,
-        fabric: Fabric,
-        mvfb: MvfbResult,
-        ideal: float,
-    ) -> MappingResult:
-        outcome = mvfb.best_outcome
-        if mvfb.best_direction == "forward":
-            schedule = list(outcome.schedule)
-            initial = outcome.initial_placement
-            final = outcome.final_placement
-            trace = outcome.trace
-        else:
-            # A backward (uncompute) pass won: the reported solution executes
-            # the forward circuit from the backward pass's final placement and
-            # replays the reverse of the backward control trace.
-            num_instructions = circuit.num_instructions
-            schedule = [num_instructions - 1 - index for index in reversed(outcome.schedule)]
-            initial = outcome.final_placement
-            final = outcome.initial_placement
-            trace = outcome.trace.reversed_trace()
-        result = MappingResult(
-            circuit_name=circuit.name,
-            fabric_name=fabric.name,
-            mapper_name=self.name,
-            latency=mvfb.best_latency,
-            ideal_latency=ideal,
-            schedule=schedule,
-            initial_placement=initial,
-            final_placement=final,
-            trace=trace,
-            records=outcome.records,
-            direction=mvfb.best_direction,
-            placement_runs=mvfb.total_runs,
-            total_moves=outcome.total_moves,
-            total_turns=outcome.total_turns,
-            total_congestion_delay=outcome.total_congestion_delay,
-            cpu_seconds=mvfb.cpu_seconds,
-            options=self.options,
-        )
-        return result

@@ -36,6 +36,9 @@ class MappingResult:
         total_congestion_delay: Summed busy-queue waiting time.
         cpu_seconds: Wall-clock mapping time (all placement runs included).
         options: The options the mapper ran with.
+        stage_seconds: Per-stage wall-clock breakdown of the pipeline run,
+            keyed by stage name in execution order (empty for mappers that
+            do not run the staged pipeline).
     """
 
     circuit_name: str
@@ -55,6 +58,7 @@ class MappingResult:
     total_congestion_delay: float = 0.0
     cpu_seconds: float = 0.0
     options: MapperOptions = field(default_factory=MapperOptions)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def overhead_vs_ideal(self) -> float:
@@ -93,6 +97,7 @@ class MappingResult:
             f"  winning direction : {self.direction}",
             f"  placement runs    : {self.placement_runs}",
             f"  moves / turns     : {self.total_moves} / {self.total_turns}",
+            f"  congestion delay  : {self.total_congestion_delay:.1f} us",
             f"  mapping CPU time  : {self.cpu_seconds * 1000:.0f} ms",
             f"  options           : {self.options.describe()}",
         ]

@@ -1,0 +1,106 @@
+"""The benchmark-circuit registry: named factories for workload circuits.
+
+Entries are factories ``(**params) -> QuantumCircuit``.  Built-ins:
+
+* the paper's six QECC encoder benchmarks, under their code names
+  (``"[[5,1,3]]"`` … ``"[[23,1,7]]"``), in the paper's table order;
+* ``ghz`` — GHZ chains (fully sequential two-qubit gates);
+* ``ripple`` — ripple dependency chains with repeatable rounds;
+* ``qft-like`` — the all-to-all interaction pattern of a QFT;
+* ``random`` — seeded random circuits with a controlled two-qubit fraction.
+
+:func:`resolve_circuit` also accepts a live circuit (returned unchanged) or
+the path of a QASM file, which keeps the CLI and
+:class:`~repro.runner.spec.ExperimentSpec` semantics: any string that is not
+a registered name is treated as a file path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuits.builders import ghz_circuit, qft_like_circuit, ripple_chain_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.circuits.random_circuits import random_circuit
+from repro.errors import CircuitError
+from repro.pipeline.registry import Registry
+
+#: The circuit registry: QECC suite + generators.
+CIRCUITS = Registry("circuit")
+
+
+def _qecc_factory(name: str):
+    def build(**params) -> QuantumCircuit:
+        if params:
+            raise CircuitError(f"QECC benchmark {name!r} takes no parameters")
+        return qecc_encoder(name)
+
+    build.__name__ = f"qecc_{name}"
+    build.__doc__ = f"The paper's {name} QECC encoder benchmark."
+    return build
+
+
+for _name in BENCHMARK_NAMES:
+    CIRCUITS.register(_name, _qecc_factory(_name))
+
+@CIRCUITS.register("ghz")
+def ghz(num_qubits: int = 5) -> QuantumCircuit:
+    """A GHZ chain: ``num_qubits`` fully sequential two-qubit gates."""
+    return ghz_circuit(num_qubits)
+
+
+@CIRCUITS.register("ripple")
+def ripple(num_qubits: int = 5, *, rounds: int = 1) -> QuantumCircuit:
+    """A ripple dependency chain repeated for ``rounds`` rounds."""
+    return ripple_chain_circuit(num_qubits, rounds=rounds)
+
+
+@CIRCUITS.register("qft-like")
+def qft_like(num_qubits: int = 5) -> QuantumCircuit:
+    """The all-to-all controlled-interaction pattern of a QFT."""
+    return qft_like_circuit(num_qubits)
+
+
+@CIRCUITS.register("random")
+def random(
+    num_qubits: int = 6,
+    num_gates: int = 24,
+    *,
+    two_qubit_fraction: float = 0.6,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """A seeded random circuit with a controlled two-qubit gate fraction."""
+    return random_circuit(
+        num_qubits, num_gates, two_qubit_fraction=two_qubit_fraction, seed=seed
+    )
+
+
+def resolve_circuit(circuit: "QuantumCircuit | str", **params) -> QuantumCircuit:
+    """Turn a circuit, registry name or QASM path into a live circuit.
+
+    Args:
+        circuit: A :class:`QuantumCircuit` (returned unchanged), a registry
+            name (``"[[5,1,3]]"``, ``"ghz"``, a plugin name, …) or the path
+            of a QASM file.
+        params: Keyword parameters forwarded to the registry factory (e.g.
+            ``num_qubits`` for ``ghz``).
+
+    Raises:
+        CircuitError: When the string is neither a registered name nor an
+            existing file (the message carries the did-you-mean suggestion).
+    """
+    if isinstance(circuit, QuantumCircuit):
+        return circuit
+    if circuit in CIRCUITS:
+        return CIRCUITS.get(circuit)(**params)
+    path = Path(circuit)
+    if path.exists():
+        from repro.qasm.parser import parse_qasm_file
+
+        return parse_qasm_file(path)
+    try:
+        CIRCUITS.get(circuit)  # raises with the did-you-mean suggestion
+    except KeyError as exc:
+        raise CircuitError(f"{exc.args[0]}; and no QASM file exists at {path}") from exc
+    raise CircuitError(f"cannot resolve circuit {circuit!r}")  # pragma: no cover

@@ -1,0 +1,83 @@
+"""The fabric registry: named factories for ion-trap fabric topologies.
+
+Entries are factories ``(**params) -> Fabric``.  Built-ins:
+
+* ``quale`` — the paper's 45×85-cell QUALE fabric (no parameters).
+* ``grid`` — parametric junction lattice (``junction_rows``,
+  ``junction_cols``, ``channel_length``, ``traps_per_channel``).
+* ``small`` — a compact 4×4 default grid for tests and examples.
+* ``linear`` — a two-row strip, the worst case for routing.
+
+:func:`resolve_fabric` additionally understands geometry labels of the form
+``"<rows>x<cols>c<length>"`` (the :attr:`~repro.runner.spec.FabricCell.label`
+format), so ``repro.map_circuit(circuit, "4x4c3")`` builds a 4×4 grid.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FabricError
+from repro.fabric.builder import (
+    FabricSpec,
+    build_fabric,
+    linear_fabric,
+    quale_fabric,
+    small_fabric,
+)
+from repro.fabric.fabric import Fabric
+from repro.pipeline.registry import Registry
+
+#: The fabric registry.  Built-ins: ``quale``, ``grid``, ``small``, ``linear``.
+FABRICS = Registry("fabric")
+
+FABRICS.register("quale", quale_fabric)
+FABRICS.register("small", small_fabric)
+FABRICS.register("linear", linear_fabric)
+
+
+@FABRICS.register("grid")
+def grid_fabric(
+    junction_rows: int = 4,
+    junction_cols: int = 4,
+    channel_length: int = 3,
+    traps_per_channel: int = 2,
+    name: str | None = None,
+) -> Fabric:
+    """A parametric regular junction lattice (see :class:`FabricSpec`)."""
+    return build_fabric(
+        FabricSpec(
+            name=name or f"grid-{junction_rows}x{junction_cols}c{channel_length}",
+            junction_rows=junction_rows,
+            junction_cols=junction_cols,
+            channel_length=channel_length,
+            traps_per_channel=traps_per_channel,
+        )
+    )
+
+
+#: ``"<rows>x<cols>c<length>"`` geometry labels accepted by resolve_fabric.
+_GEOMETRY_LABEL = re.compile(r"^(\d+)x(\d+)c(\d+)$")
+
+
+def resolve_fabric(fabric: "Fabric | str", **params) -> Fabric:
+    """Turn a fabric, registry name or geometry label into a live fabric.
+
+    Args:
+        fabric: A built :class:`Fabric` (returned unchanged), a registry
+            name (``"quale"``, ``"grid"``, a plugin name, …) or a geometry
+            label like ``"4x4c3"``.
+        params: Keyword parameters forwarded to the registry factory.
+
+    Raises:
+        FabricError: On an unknown name (with a did-you-mean suggestion).
+    """
+    if isinstance(fabric, Fabric):
+        return fabric
+    match = _GEOMETRY_LABEL.match(fabric)
+    if match is not None and fabric not in FABRICS:
+        rows, cols, length = (int(group) for group in match.groups())
+        return grid_fabric(
+            junction_rows=rows, junction_cols=cols, channel_length=length, **params
+        )
+    return FABRICS.resolve(fabric, error=FabricError)(**params)

@@ -1,0 +1,100 @@
+"""The one-call facade: :func:`map_circuit`.
+
+``repro.map_circuit`` is the canonical public entry point of the package:
+every argument can be a name resolved through the plugin registries, so the
+whole system — including third-party mappers, placers, fabrics and circuits
+registered via decorators — is reachable from one line::
+
+    import repro
+
+    result = repro.map_circuit("[[5,1,3]]", "quale", mapper="qspr", placer="center")
+    result = repro.map_circuit("ghz", "4x4c3", placer="monte-carlo",
+                               num_placements=4)
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import MappingError
+from repro.fabric.fabric import Fabric
+from repro.mapper.options import MapperOptions
+from repro.mapper.result import MappingResult
+from repro.pipeline.circuits import resolve_circuit
+from repro.pipeline.context import PipelineObserver
+from repro.pipeline.fabrics import resolve_fabric
+from repro.pipeline.mappers import resolve_mapper
+
+
+def map_circuit(
+    circuit: "QuantumCircuit | str",
+    fabric: "Fabric | str" = "quale",
+    mapper: str = "qspr",
+    placer: str = "mvfb",
+    *,
+    observer: PipelineObserver | None = None,
+    **options,
+) -> MappingResult:
+    """Map a circuit onto a fabric, resolving every name through the registries.
+
+    Args:
+        circuit: A live :class:`~repro.circuits.circuit.QuantumCircuit`, a
+            circuit-registry name (``"[[5,1,3]]"``, ``"ghz"``, …) or the path
+            of a QASM file.
+        fabric: A live :class:`~repro.fabric.fabric.Fabric`, a fabric-registry
+            name (``"quale"``, ``"small"``, …) or a geometry label such as
+            ``"4x4c3"``.
+        mapper: Mapper-registry name (``"qspr"``, ``"quale"``, ``"qpos"``,
+            ``"ideal"`` or a plugin).
+        placer: Placer-registry name used by placer-driven mappers
+            (``"mvfb"``, ``"monte-carlo"``, ``"center"`` or a plugin).
+        observer: Optional :class:`~repro.pipeline.context.PipelineObserver`
+            receiving per-stage callbacks (passed through to mappers whose
+            ``map`` accepts one, i.e. the pipeline-backed mappers).
+        options: Extra :class:`~repro.mapper.options.MapperOptions` fields,
+            e.g. ``num_seeds=5``, ``num_placements=10``, ``random_seed=7``.
+
+    Returns:
+        The :class:`~repro.mapper.result.MappingResult` of the run.
+
+    Raises:
+        MappingError: On unknown names (with did-you-mean suggestions) or
+            unknown option fields.
+
+    Example::
+
+        >>> import repro
+        >>> result = repro.map_circuit("ghz", "small", placer="center")
+        >>> result.latency >= result.ideal_latency > 0
+        True
+    """
+    live_circuit = resolve_circuit(circuit)
+    live_fabric = resolve_fabric(fabric)
+    try:
+        # An explicit placer inside **options (e.g. an ablation override
+        # dict) wins over the positional default.
+        mapper_options = MapperOptions(**{"placer": placer, **options})
+    except TypeError as exc:
+        known = ", ".join(
+            name for name in MapperOptions.__dataclass_fields__ if name != "placer"
+        )
+        raise MappingError(f"invalid mapper option: {exc} (known options: {known})") from exc
+    mapper_object = resolve_mapper(mapper, mapper_options)
+    if observer is not None and _accepts_observer(mapper_object.map):
+        return mapper_object.map(live_circuit, live_fabric, observer=observer)
+    return mapper_object.map(live_circuit, live_fabric)
+
+
+def _accepts_observer(map_method) -> bool:
+    """Whether a mapper's ``map`` accepts an ``observer`` keyword."""
+    try:
+        signature = inspect.signature(map_method)
+    except (TypeError, ValueError):  # pragma: no cover - builtins/extensions
+        return False
+    if "observer" in signature.parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    )

@@ -1,0 +1,171 @@
+"""A generic string-keyed plugin registry.
+
+Every extension point of the mapping pipeline — mappers, placers, fabrics
+and benchmark circuits — is a :class:`Registry`: a named table from string
+keys to plugin objects (usually factories).  Registration works either as a
+decorator::
+
+    from repro.pipeline import PLACERS
+
+    @PLACERS.register("spiral")
+    def spiral_placer(ctx):
+        ...
+
+or as a plain call (``PLACERS.register("spiral", spiral_placer)``).  Lookups
+of unknown names raise :class:`KeyError` with a ``difflib``-powered
+did-you-mean suggestion, so a typo like ``"centre"`` points at ``"center"``
+instead of failing silently.
+
+Registries preserve registration order (the QECC circuit registry keeps the
+paper's table order that way) and refuse duplicate names unless
+``overwrite=True`` is passed explicitly.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class RegistryError(ReproError):
+    """Invalid registration (duplicate name, empty name, non-string key)."""
+
+
+class Registry:
+    """An ordered, string-keyed table of named plugins.
+
+    Args:
+        kind: Singular noun naming what the registry holds (``"mapper"``,
+            ``"placer"``, …); used in error messages and listings.
+
+    Example::
+
+        >>> colors = Registry("color")
+        >>> @colors.register("red")
+        ... def red():
+        ...     return "#ff0000"
+        >>> colors.names()
+        ('red',)
+        >>> colors.get("red")()
+        '#ff0000'
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, obj: T | None = None, *, overwrite: bool = False
+    ) -> T | Callable[[T], T]:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Args:
+            name: Registry key.  Must be a non-empty string and — unless
+                ``overwrite`` is set — not already taken.
+            obj: The plugin to register.  When omitted, returns a decorator
+                that registers its target and hands it back unchanged.
+            overwrite: Replace an existing entry instead of raising.
+
+        Raises:
+            RegistryError: On an empty/non-string name or a duplicate
+                registration without ``overwrite``.
+        """
+        if not isinstance(name, str) or not name:
+            raise RegistryError(f"{self.kind} names must be non-empty strings, got {name!r}")
+        if obj is None:
+
+            def decorator(target: T) -> T:
+                self.register(name, target, overwrite=overwrite)
+                return target
+
+            return decorator
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` from the registry (mainly for tests and plugins).
+
+        Raises:
+            KeyError: If the name is not registered (with a suggestion).
+        """
+        if name not in self._entries:
+            self._missing(name)
+        del self._entries[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """The plugin registered under ``name``.
+
+        Raises:
+            KeyError: If the name is unknown; the message includes a
+                did-you-mean suggestion and the known names.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            self._missing(name)
+
+    def resolve(self, name: str, *, error: type[Exception] | None = None) -> Any:
+        """:meth:`get`, optionally re-raising as a domain error type.
+
+        Args:
+            name: Registry key to look up.
+            error: Exception class (e.g. ``MappingError``) to raise instead
+                of :class:`KeyError`, keeping the did-you-mean message.
+        """
+        try:
+            return self.get(name)
+        except KeyError as exc:
+            if error is None:
+                raise
+            raise error(exc.args[0]) from exc
+
+    def suggest(self, name: str) -> str | None:
+        """The closest registered name to ``name``, if any is close enough."""
+        if not isinstance(name, str):
+            return None
+        matches = difflib.get_close_matches(name, self._entries, n=1, cutoff=0.5)
+        return matches[0] if matches else None
+
+    def _missing(self, name: str) -> None:
+        suggestion = self.suggest(name)
+        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+        known = ", ".join(self._entries) or "<none>"
+        raise KeyError(f"unknown {self.kind} {name!r}{hint} (known: {known})")
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    def items(self) -> tuple[tuple[str, Any], ...]:
+        """``(name, plugin)`` pairs, in registration order."""
+        return tuple(self._entries.items())
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._entries)!r})"

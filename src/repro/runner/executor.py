@@ -21,7 +21,6 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
-from repro.mapper.ideal import IdealBaseline
 from repro.runner.cache import ResultCache
 from repro.runner.results import CellResult
 from repro.runner.spec import ExperimentSpec, Sweep
@@ -34,8 +33,9 @@ def execute_cell(spec: ExperimentSpec) -> CellResult:
     """Execute one experiment cell and summarise it.
 
     This is the unit of work of the process pool; it builds the circuit,
-    fabric and mapper from the declarative spec, so it only needs the spec
-    itself to cross the process boundary.
+    fabric and mapper from the declarative spec (each resolved through the
+    :mod:`repro.pipeline` registries), so it only needs the spec itself to
+    cross the process boundary.
 
     Example::
 
@@ -47,17 +47,6 @@ def execute_cell(spec: ExperimentSpec) -> CellResult:
         True
     """
     circuit = spec.build_circuit()
-    if spec.mapper == "ideal":
-        start = time.perf_counter()
-        latency = IdealBaseline().latency(circuit)
-        return CellResult(
-            circuit=spec.circuit,
-            mapper="ideal",
-            fabric=spec.fabric.label,
-            latency=latency,
-            ideal_latency=latency,
-            cpu_seconds=time.perf_counter() - start,
-        )
     fabric = spec.build_fabric()
     mapper = spec.build_mapper()
     result = mapper.map(circuit, fabric)

@@ -97,7 +97,9 @@ class CellResult:
         return cls(
             circuit=spec.circuit,
             mapper=spec.mapper,
-            placer=spec.placer or "-",
+            # Normalising drops the placer axis for placerless mappers, so an
+            # explicit (un-normalised) ideal/quale spec still reports "-".
+            placer=spec.normalized().placer or "-",
             fabric=spec.fabric.label,
             num_seeds=spec.num_seeds,
             random_seed=spec.random_seed,

@@ -23,22 +23,29 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.circuits.qecc import BENCHMARK_NAMES
 from repro.errors import MappingError, ReproError
 from repro.fabric.builder import FabricSpec, build_fabric, quale_fabric
 from repro.fabric.fabric import Fabric
-from repro.mapper.options import MapperOptions, PlacerKind
-from repro.mapper.qpos import QposMapper
-from repro.mapper.qspr import QsprMapper
-from repro.mapper.quale import QualeMapper
-from repro.qasm.parser import parse_qasm_file
+from repro.mapper.options import MapperOptions
+from repro.pipeline.circuits import resolve_circuit
+from repro.pipeline.mappers import MAPPERS, resolve_mapper
+from repro.pipeline.placers import PLACERS
 
-#: Mapper names accepted by the runner.  ``"ideal"`` is the zero-routing /
-#: zero-congestion baseline of the paper's Table 2.
-MAPPER_NAMES: tuple[str, ...] = ("qspr", "quale", "qpos", "ideal")
 
-#: Placer names accepted by the runner (only meaningful for ``"qspr"``).
-PLACER_NAMES: tuple[str, ...] = tuple(kind.value for kind in PlacerKind)
+#: Built-in mapper names at import time.  Validation goes through the live
+#: :data:`repro.pipeline.MAPPERS` registry, so mappers registered *after*
+#: import are accepted too; this snapshot only feeds help strings.
+MAPPER_NAMES: tuple[str, ...] = MAPPERS.names()
+
+#: Built-in placer names at import time (see :data:`repro.pipeline.PLACERS`).
+PLACER_NAMES: tuple[str, ...] = PLACERS.names()
+
+#: Built-in mappers whose placement strategy is fixed: they take no placer /
+#: seed axes, so those axes collapse during normalisation.  Mappers outside
+#: this set — QSPR and any registered plugin — receive the full axes, since
+#: a plugin mapper may honour every :class:`MapperOptions` knob.
+PLACERLESS_MAPPERS: frozenset[str] = frozenset({"quale", "qpos", "ideal"})
 
 #: Bump when the semantics of a cached record change; part of every cache key.
 CACHE_SCHEMA = 1
@@ -123,11 +130,14 @@ class ExperimentSpec:
     """One cell of an experiment grid.
 
     Attributes:
-        circuit: A QECC benchmark name (e.g. ``"[[5,1,3]]"``) or the path of
-            a QASM file.
-        mapper: ``"qspr"``, ``"quale"``, ``"qpos"`` or ``"ideal"``.
-        placer: QSPR's placement algorithm (``"mvfb"``, ``"monte-carlo"`` or
-            ``"center"``); ``None`` for mappers that have no placer choice.
+        circuit: A registered circuit name (e.g. ``"[[5,1,3]]"``) or the path
+            of a QASM file (resolved through :data:`repro.pipeline.CIRCUITS`).
+        mapper: A mapper-registry name — ``"qspr"``, ``"quale"``, ``"qpos"``,
+            ``"ideal"`` or any plugin in :data:`repro.pipeline.MAPPERS`.
+        placer: QSPR's placement algorithm — any name registered in
+            :data:`repro.pipeline.PLACERS` (``"mvfb"``, ``"monte-carlo"``,
+            ``"center"`` or a plugin); ``None`` for mappers that have no
+            placer choice.
         num_seeds: MVFB's seed count ``m``.  For the Monte-Carlo placer this
             doubles as the default number of placement runs ``m'`` when
             ``num_placements`` is not given.
@@ -152,22 +162,38 @@ class ExperimentSpec:
     fabric: FabricCell = QUALE_FABRIC_CELL
 
     def __post_init__(self) -> None:
-        if self.mapper not in MAPPER_NAMES:
-            raise MappingError(
-                f"unknown mapper {self.mapper!r}; expected one of {MAPPER_NAMES}"
-            )
-        if self.mapper == "qspr":
-            if self.placer not in PLACER_NAMES:
+        MAPPERS.resolve(self.mapper, error=MappingError)
+        if self.uses_placer_axes:
+            if self.placer is None:
                 raise MappingError(
-                    f"unknown placer {self.placer!r}; expected one of {PLACER_NAMES}"
+                    f"mapper {self.mapper!r} requires a placer; "
+                    f"known placers: {', '.join(PLACERS.names())}"
                 )
+            PLACERS.resolve(self.placer, error=MappingError)
             if self.num_seeds < 1:
                 raise MappingError("num_seeds must be at least 1")
+
+    @property
+    def uses_placer_axes(self) -> bool:
+        """Whether this cell's mapper consumes the placer/seed axes.
+
+        True for ``"qspr"`` and for every plugin mapper; false only for the
+        built-in presets with a fixed placement strategy
+        (:data:`PLACERLESS_MAPPERS`).
+        """
+        return self.mapper not in PLACERLESS_MAPPERS
 
     @property
     def is_benchmark(self) -> bool:
         """Whether :attr:`circuit` names a built-in QECC benchmark."""
         return self.circuit in BENCHMARK_NAMES
+
+    @property
+    def is_registered_circuit(self) -> bool:
+        """Whether :attr:`circuit` names any registered circuit (QECC or plugin)."""
+        from repro.pipeline.circuits import CIRCUITS
+
+        return self.circuit in CIRCUITS
 
     def normalized(self) -> "ExperimentSpec":
         """A copy with axes that do not affect this mapper canonicalised.
@@ -184,14 +210,18 @@ class ExperimentSpec:
             >>> a.normalized() == b.normalized()
             True
         """
-        if self.mapper == "qspr":
-            if self.placer == PlacerKind.MONTE_CARLO.value:
+        if self.uses_placer_axes:
+            if self.placer == "monte-carlo":
                 return self
-            if self.placer == PlacerKind.CENTER.value:
+            if self.placer == "center":
                 # Center placement is deterministic: no seeds, no extra runs.
                 return replace(self, num_seeds=1, num_placements=None, random_seed=0)
-            # MVFB ignores num_placements.
-            return replace(self, num_placements=None)
+            if self.placer == "mvfb":
+                # MVFB ignores num_placements.
+                return replace(self, num_placements=None)
+            # Custom placers: nothing is known about which axes they read,
+            # so keep every axis (conservative — no cache-key collisions).
+            return self
         return replace(
             self, placer=None, num_seeds=1, num_placements=None, random_seed=0
         )
@@ -214,24 +244,28 @@ class ExperimentSpec:
     def build_circuit(self) -> QuantumCircuit:
         """Load the benchmark circuit or parse the QASM file.
 
+        Resolution goes through :data:`repro.pipeline.CIRCUITS`: registered
+        circuit names (the QECC suite and any plugins) take precedence,
+        anything else is treated as a QASM path.
+
         Example::
 
             >>> ExperimentSpec("[[5,1,3]]").build_circuit().num_qubits
             5
         """
-        if self.is_benchmark:
-            return qecc_encoder(self.circuit)
-        path = Path(self.circuit)
-        if not path.exists():
-            raise ReproError(f"QASM file not found: {path}")
-        return parse_qasm_file(path)
+        if not self.is_registered_circuit and not Path(self.circuit).exists():
+            raise ReproError(f"QASM file not found: {self.circuit}")
+        return resolve_circuit(self.circuit)
 
     def build_fabric(self) -> Fabric:
         """Construct the target fabric (see :meth:`FabricCell.build`)."""
         return self.fabric.build()
 
     def mapper_options(self) -> MapperOptions:
-        """The :class:`~repro.mapper.options.MapperOptions` of a QSPR cell.
+        """The :class:`~repro.mapper.options.MapperOptions` of this cell.
+
+        Available for every mapper that consumes the placer/seed axes
+        (:attr:`uses_placer_axes`) — QSPR and plugin mappers alike.
 
         Example::
 
@@ -239,33 +273,31 @@ class ExperimentSpec:
             >>> spec.mapper_options().num_placements
             4
         """
-        if self.mapper != "qspr":
+        if not self.uses_placer_axes:
             raise MappingError(f"mapper {self.mapper!r} takes no options")
         num_placements = self.num_placements
-        if self.placer == PlacerKind.MONTE_CARLO.value and num_placements is None:
+        if self.placer == "monte-carlo" and num_placements is None:
             num_placements = self.num_seeds
         return MapperOptions(
-            placer=PlacerKind(self.placer),
+            placer=self.placer,
             num_seeds=self.num_seeds,
             num_placements=num_placements,
             random_seed=self.random_seed,
         )
 
     def build_mapper(self):
-        """Instantiate the mapper this cell runs (``"ideal"`` has none).
+        """Instantiate this cell's mapper through the mapper registry.
+
+        Placer-driven mappers (QSPR and plugins) receive the cell's full
+        :meth:`mapper_options`; the fixed built-in presets receive ``None``.
 
         Example::
 
             >>> type(ExperimentSpec("[[5,1,3]]", mapper="qpos").build_mapper()).__name__
             'QposMapper'
         """
-        if self.mapper == "quale":
-            return QualeMapper()
-        if self.mapper == "qpos":
-            return QposMapper()
-        if self.mapper == "qspr":
-            return QsprMapper(self.mapper_options())
-        raise MappingError(f"mapper {self.mapper!r} has no mapper object")
+        options = self.mapper_options() if self.uses_placer_axes else None
+        return resolve_mapper(self.mapper, options)
 
     # ------------------------------------------------------------------
     # Serialisation and content keying.
@@ -308,7 +340,7 @@ class ExperimentSpec:
         spec = self.normalized()
         payload = spec.to_dict()
         payload["schema"] = CACHE_SCHEMA
-        if not spec.is_benchmark:
+        if not spec.is_registered_circuit:
             path = Path(spec.circuit)
             if path.exists():
                 digest = hashlib.sha256(path.read_bytes()).hexdigest()
@@ -385,7 +417,9 @@ class Sweep:
                                 spec = ExperimentSpec(
                                     circuit=circuit,
                                     mapper=mapper,
-                                    placer=placer if mapper == "qspr" else None,
+                                    placer=(
+                                        placer if mapper not in PLACERLESS_MAPPERS else None
+                                    ),
                                     num_seeds=m,
                                     random_seed=seed,
                                     fabric=fabric,

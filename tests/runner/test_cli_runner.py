@@ -89,6 +89,24 @@ class TestTopLevel:
         assert rc == 0
         assert "latency" in capsys.readouterr().out
 
+    def test_qasm_path_wins_over_registry_name(self, tmp_path, capsys):
+        # A file that shares its name with a registered circuit ("ghz") must
+        # be parsed as a file, not shadowed by the registry entry.
+        qasm = tmp_path / "ghz"
+        qasm.write_text("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n")
+        rc = main(["run", str(qasm), "--placer", "center", "--fabric", "small"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mapping of ghz onto" in out  # the 2-qubit file's stem...
+        assert "ghz_5" not in out  # ...not the built-in 5-qubit generator
+
+    def test_list_subcommand_prints_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for line in ("mappers", "placers", "fabrics", "circuits"):
+            assert line in out
+        assert "qspr" in out and "mvfb" in out and "quale" in out and "[[5,1,3]]" in out
+
     def test_parser_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
