@@ -1,6 +1,7 @@
 """Command-line interface: ``qspr-map``.
 
-Four subcommands cover the single-shot, batch and discovery workflows:
+Five subcommands cover the single-shot, batch, benchmarking and discovery
+workflows:
 
 * ``qspr-map run`` — map one QASM file (or registered benchmark circuit)
   onto an ion-trap fabric and print the latency report.  For backward
@@ -11,6 +12,9 @@ Four subcommands cover the single-shot, batch and discovery workflows:
   JSON + CSV results plus a latency comparison table.
 * ``qspr-map report`` — re-render the tables from a previous sweep's
   ``results.json`` without re-running anything.
+* ``qspr-map bench`` — time the place-route-simulate hot path on the paper's
+  circuits, measure the compiled-core speedup against the pre-refactor core
+  and write ``BENCH_perf.json`` (see ``docs/PERFORMANCE.md``).
 * ``qspr-map list`` — enumerate every plugin registered in the mapper,
   placer, fabric and circuit registries (built-ins and third-party).
 
@@ -26,6 +30,7 @@ Examples::
     qspr-map sweep --benchmarks "[[5,1,3]],[[7,1,3]]" --mappers qspr,quale \\
         --placers mvfb,monte-carlo --out sweep-out --jobs 4
     qspr-map report sweep-out/results.json
+    qspr-map bench --quick --out BENCH_perf.json
     qspr-map list --registry placers
 """
 
@@ -64,7 +69,7 @@ from repro.runner import (
 from repro.viz.trace_render import render_gantt
 
 #: Subcommand names; anything else on the command line means legacy ``run``.
-_COMMANDS = ("run", "sweep", "report", "list")
+_COMMANDS = ("run", "sweep", "report", "bench", "list")
 
 
 def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
@@ -195,6 +200,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="also write the results as CSV to this path"
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="time the routing/simulation hot path and write BENCH_perf.json"
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke subset: small circuits and one speedup probe",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repetitions per timing; the best wall-clock wins (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="path of the JSON report (default: BENCH_perf.json)",
+    )
+
     list_parser = subparsers.add_parser(
         "list", help="list every registered mapper, placer, fabric and circuit"
     )
@@ -301,6 +326,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    """Run the perf suite and print its tables (``qspr-map bench``)."""
+    from repro.runner.bench import format_perf_report, run_perf_suite
+
+    if args.repeats < 1:
+        raise ReproError("--repeats must be at least 1")
+    report = run_perf_suite(quick=args.quick, repeats=args.repeats, out=args.out)
+    print(format_perf_report(report))
+    print(f"report: {args.out}")
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """Print the contents of the plugin registries (``qspr-map list``)."""
     selected = [args.registry] if args.registry else list(REGISTRIES)
@@ -343,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "report": _command_report,
+        "bench": _command_bench,
         "list": _command_list,
     }[args.command]
     try:

@@ -49,6 +49,14 @@ class Fabric:
         for channel in self._channels.values():
             self._adjacency[channel.endpoint_a].append(channel.id)
             self._adjacency[channel.endpoint_b].append(channel.id)
+        # Memoised distance orderings: the fabric is immutable, so the sorted
+        # trap list of a query point never changes.  The router asks for the
+        # same few points (trap cells, operand medians, the center) for every
+        # issued instruction, which made the full-fabric sort a hot path.
+        # Benchmarks flip the public switch off to time the uncached
+        # (pre-refactor) behaviour; results are identical either way.
+        self.spatial_cache_enabled = True
+        self._traps_by_distance_cache: dict[tuple[float, float], tuple[Trap, ...]] = {}
 
     # ------------------------------------------------------------------
     # Validation
@@ -145,12 +153,35 @@ class Fabric:
         """
         return manhattan_distance(self.trap(a).cell, self.trap(b).cell)
 
+    #: Cached distance orderings kept per fabric (each entry holds one
+    #: reference per trap, so the bound keeps memory modest even for sweeps
+    #: that query many distinct median points).
+    _TRAPS_BY_DISTANCE_CACHE_SIZE = 4096
+
     def traps_by_distance(self, point: tuple[float, float]) -> list[Trap]:
-        """All traps sorted by L1 distance to ``point`` (ties by trap id)."""
-        return sorted(
-            self._traps.values(),
-            key=lambda trap: (distance_to_point(trap.cell, point), trap.id),
-        )
+        """All traps sorted by L1 distance to ``point`` (ties by trap id).
+
+        The ordering is memoised per point (unless ``spatial_cache_enabled``
+        is off); callers receive a fresh list they are free to mutate.
+        """
+        if not self.spatial_cache_enabled:
+            return sorted(
+                self._traps.values(),
+                key=lambda trap: (distance_to_point(trap.cell, point), trap.id),
+            )
+        key = (point[0], point[1])
+        cached = self._traps_by_distance_cache.get(key)
+        if cached is None:
+            if len(self._traps_by_distance_cache) >= self._TRAPS_BY_DISTANCE_CACHE_SIZE:
+                self._traps_by_distance_cache.clear()
+            cached = tuple(
+                sorted(
+                    self._traps.values(),
+                    key=lambda trap: (distance_to_point(trap.cell, point), trap.id),
+                )
+            )
+            self._traps_by_distance_cache[key] = cached
+        return list(cached)
 
     def traps_near_center(self) -> list[Trap]:
         """All traps sorted by distance to the fabric center.

@@ -60,6 +60,11 @@ class MapperOptions:
         mvfb_patience: Consecutive non-improving runs that stop an MVFB seed.
         mvfb_max_runs_per_seed: Hard cap on placement runs per MVFB seed.
         random_seed: Seed for all randomised placement decisions.
+        compiled_routing: Run the router on the compiled routing core (CSR
+            Dijkstra kernel plus the epoch-validated route cache).  ``False``
+            selects the pre-refactor object-based core; results are
+            identical, only speed differs.  Kept selectable for differential
+            tests and the performance benchmarks.
     """
 
     technology: TechnologyParams = PAPER_TECHNOLOGY
@@ -75,6 +80,7 @@ class MapperOptions:
     mvfb_patience: int = 3
     mvfb_max_runs_per_seed: int = 40
     random_seed: int = 0
+    compiled_routing: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.placer, PlacerKind) and (
@@ -133,4 +139,6 @@ class MapperOptions:
         )
         if self.placer_name == PlacerKind.MONTE_CARLO.value:
             text += f" m'={self.num_placements}"
+        if not self.compiled_routing:
+            text += " core=legacy"
         return text

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.mapper.options import MapperOptions
 from repro.placement.base import Placement
+from repro.routing.compiled import RoutingCoreStats
 from repro.sim.engine import InstructionRecord
 from repro.sim.trace import ControlTrace
 
@@ -38,7 +39,13 @@ class MappingResult:
         options: The options the mapper ran with.
         stage_seconds: Per-stage wall-clock breakdown of the pipeline run,
             keyed by stage name in execution order (empty for mappers that
-            do not run the staged pipeline).
+            do not run the staged pipeline).  Dotted sub-keys such as
+            ``simulate.routing`` attribute a stage's time to the routing
+            core.
+        routing_seconds: Wall-clock time the winning pass spent planning
+            routes inside the router.
+        routing_stats: Routing-core counters of the winning pass (route
+            cache hits/misses, Dijkstra calls, heap pops, edge relaxations).
     """
 
     circuit_name: str
@@ -59,6 +66,8 @@ class MappingResult:
     cpu_seconds: float = 0.0
     options: MapperOptions = field(default_factory=MapperOptions)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    routing_seconds: float = 0.0
+    routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
 
     @property
     def overhead_vs_ideal(self) -> float:
@@ -98,6 +107,12 @@ class MappingResult:
             f"  placement runs    : {self.placement_runs}",
             f"  moves / turns     : {self.total_moves} / {self.total_turns}",
             f"  congestion delay  : {self.total_congestion_delay:.1f} us",
+            f"  route cache       : {self.routing_stats.cache_hits} hits / "
+            f"{self.routing_stats.cache_misses} misses "
+            f"({100 * self.routing_stats.cache_hit_rate:.1f}% hit rate)",
+            f"  dijkstra core     : {self.routing_stats.dijkstra_calls} calls, "
+            f"{self.routing_stats.heap_pops} heap pops, "
+            f"{self.routing_stats.edge_relaxations} relaxations",
             f"  mapping CPU time  : {self.cpu_seconds * 1000:.0f} ms",
             f"  options           : {self.options.describe()}",
         ]

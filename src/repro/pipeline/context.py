@@ -23,6 +23,7 @@ from repro.fabric.fabric import Fabric
 from repro.mapper.options import MapperOptions
 from repro.placement.base import Placement
 from repro.qidg.graph import QIDG
+from repro.routing.compiled import RoutingCoreStats
 from repro.sim.engine import FabricSimulator, InstructionRecord, SimulationOutcome
 from repro.sim.trace import ControlTrace
 
@@ -51,6 +52,9 @@ class PlacementOutcome:
         total_turns: Total qubit turns of the winning pass.
         total_congestion_delay: Summed busy-queue waiting time.
         cpu_seconds: Simulation time spent producing this outcome.
+        routing_seconds: Wall-clock time the winning pass spent inside the
+            router (a subset of its simulation time).
+        routing_stats: Routing-core counters of the winning pass.
     """
 
     latency: float
@@ -65,6 +69,8 @@ class PlacementOutcome:
     total_turns: int = 0
     total_congestion_delay: float = 0.0
     cpu_seconds: float = 0.0
+    routing_seconds: float = 0.0
+    routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
 
     @classmethod
     def from_simulation(
@@ -89,6 +95,8 @@ class PlacementOutcome:
             total_turns=outcome.total_turns,
             total_congestion_delay=outcome.total_congestion_delay,
             cpu_seconds=outcome.cpu_seconds if cpu_seconds is None else cpu_seconds,
+            routing_seconds=outcome.routing_seconds,
+            routing_stats=outcome.routing_stats,
         )
 
 
@@ -173,6 +181,7 @@ class PipelineContext:
             forced_order=forced_order,
             qidg=qidg if qidg is not None else self.qidg,
             barrier_scheduling=options.barrier_scheduling and forced_order is None,
+            compiled_routing=options.compiled_routing,
         )
 
     def simulate(self, placement: Placement) -> SimulationOutcome:

@@ -129,4 +129,6 @@ def mvfb_strategy(ctx: PipelineContext) -> PlacementOutcome:
         total_turns=outcome.total_turns,
         total_congestion_delay=outcome.total_congestion_delay,
         cpu_seconds=mvfb.cpu_seconds,
+        routing_seconds=outcome.routing_seconds,
+        routing_stats=outcome.routing_stats,
     )

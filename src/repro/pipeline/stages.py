@@ -76,14 +76,23 @@ def _place_stage(ctx: PipelineContext) -> None:
 
 
 def _simulate_stage(ctx: PipelineContext) -> None:
-    """Evaluate the chosen placement, unless the placer already did."""
+    """Evaluate the chosen placement, unless the placer already did.
+
+    Either way the routing share of the evaluating stage's wall-clock is
+    recorded as a ``<stage>.routing`` sub-key of ``stage_seconds``, so the
+    benchmark harness can attribute mapping time to the routing core.
+    """
     if ctx.outcome is not None:
+        # A search placer simulated during the place stage; attribute the
+        # winning pass's routing time there.
+        ctx.stage_seconds["place.routing"] = ctx.outcome.routing_seconds
         return
     if ctx.placement is None:
         raise MappingError(
             f"placer {ctx.options.placer_name!r} produced neither a placement nor an outcome"
         )
     ctx.outcome = PlacementOutcome.from_simulation(ctx.simulate(ctx.placement))
+    ctx.stage_seconds["simulate.routing"] = ctx.outcome.routing_seconds
 
 
 def _package_result_stage(ctx: PipelineContext) -> None:
@@ -109,6 +118,8 @@ def _package_result_stage(ctx: PipelineContext) -> None:
         cpu_seconds=outcome.cpu_seconds,
         options=ctx.options,
         stage_seconds=ctx.stage_seconds,
+        routing_seconds=outcome.routing_seconds,
+        routing_stats=outcome.routing_stats,
     )
 
 
@@ -194,7 +205,10 @@ class MappingPipeline:
         Returns:
             The packaged :class:`~repro.mapper.result.MappingResult`, with
             ``cpu_seconds`` covering the whole run and ``stage_seconds``
-            holding the per-stage wall-clock breakdown.
+            holding the per-stage wall-clock breakdown.  Besides the coarse
+            stages, ``stage_seconds`` carries dotted sub-keys (e.g.
+            ``simulate.routing``) attributing a stage's wall-clock to the
+            routing core.
 
         Raises:
             MappingError: On an empty circuit, an unknown placer name, or a

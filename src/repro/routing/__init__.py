@@ -11,7 +11,10 @@ Components:
   horizontal-plane and a vertical-plane vertex joined by a *turn edge*.
 * :mod:`repro.routing.weights` — the edge weight function of Eq. (2).
 * :mod:`repro.routing.congestion` — channel occupancy bookkeeping.
-* :mod:`repro.routing.dijkstra` — multi-source/multi-target shortest path.
+* :mod:`repro.routing.dijkstra` — multi-source/multi-target shortest path
+  (the legacy object-based reference kernel).
+* :mod:`repro.routing.compiled` — the CSR-array routing core the router uses
+  by default; returns routes identical to the legacy kernel.
 * :mod:`repro.routing.path` — expansion of a graph path into a timed
   :class:`RoutePlan` (per-channel occupancy intervals, moves and turns).
 * :mod:`repro.routing.trap_selection` — target trap choice near the median of
@@ -22,6 +25,7 @@ Components:
 
 from repro.routing.graph_model import RoutingGraph, GraphEdge, EdgeKind
 from repro.routing.weights import channel_weight, edge_weight
+from repro.routing.compiled import CompiledRoutingGraph, RoutingCoreStats
 from repro.routing.congestion import CongestionTracker
 from repro.routing.dijkstra import shortest_route, DijkstraResult
 from repro.routing.path import PathStep, RoutePlan, StepKind
@@ -42,6 +46,8 @@ __all__ = [
     "EdgeKind",
     "channel_weight",
     "edge_weight",
+    "CompiledRoutingGraph",
+    "RoutingCoreStats",
     "CongestionTracker",
     "shortest_route",
     "DijkstraResult",

@@ -1,0 +1,432 @@
+"""The compiled routing core: CSR arrays and an array-based Dijkstra kernel.
+
+:class:`~repro.routing.graph_model.RoutingGraph` is a dict-of-dataclasses
+adjacency structure — convenient to build and reason about, but every Dijkstra
+relaxation pays tuple hashing (nodes are ``(junction_id, plane)`` tuples),
+attribute access on :class:`~repro.routing.graph_model.GraphEdge` and a chain
+of Python function calls through the weight callback.  Since the simulator
+re-plans operand journeys for every issued instruction and every candidate
+meeting trap, that search is the inner loop of the whole reproduction.
+
+:class:`CompiledRoutingGraph` flattens the graph once per fabric into
+integer-indexed arrays:
+
+* ``_adjacency[i]`` — the outgoing ``(weight, target node, edge index)``
+  triples of node ``i`` (a pre-zipped CSR row; tuple unpacking beats indexed
+  reads).  The *weight* member is the Eq. (2) weight of the edge under the
+  **current** congestion, patched in place lazily (see below), so a
+  relaxation needs no occupancy lookup and no multiplication at all;
+* ``_edges`` / ``_edge_source`` — the original
+  :class:`~repro.routing.graph_model.GraphEdge` objects and their source
+  node indices, for mapping a found path back to the object world the rest
+  of the router speaks.
+
+The Dijkstra kernel works entirely on preallocated per-node arrays
+(``dist``/``parent``/``origin``/``visited``).  Rather than clearing them per
+query, every slot carries a *generation stamp*: bumping ``self._generation``
+invalidates all previous state in O(1).  The heap uses lazy deletion
+(superseded entries are skipped on pop) and the tie-breaking — a monotone
+push counter — matches the legacy kernel entry-for-entry, so both return
+identical routes, not merely equal-cost ones.
+
+**Weight synchronisation.**  Edge weights depend on channel occupancy, which
+changes with every reservation.  The congestion tracker stamps each state
+with an epoch, so a query first compares the tracker's epoch with the one
+the adjacency weights were patched against; on mismatch it resets the
+previously touched edges to their congestion-free weight and re-applies the
+tracker's non-zero occupancies.  A sync therefore costs O(edges of occupied
+channels), and a query under unchanged congestion costs O(1).  Fully
+congested channels get an infinite weight, which the search prunes
+naturally.
+
+**Frontier pruning.**  The kernel skips pushing any tentative distance that
+is already at or above the cheapest completed route.  ``best_total`` only
+ever decreases and all costs are non-negative, so such an entry could never
+improve the answer; in the legacy kernel it would only ever be popped after
+the termination condition fired.  The pruning changes heap-pop counts, never
+distances, origins or routes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.routing.congestion import CongestionTracker
+from repro.routing.dijkstra import DijkstraResult
+from repro.routing.graph_model import EdgeKind, Node, RoutingGraph
+from repro.technology import TechnologyParams
+
+_INF = math.inf
+
+
+@dataclass
+class RoutingCoreStats:
+    """Counters of the routing core, exposed on results and reports.
+
+    Attributes:
+        dijkstra_calls: Shortest-route searches actually executed (route-cache
+            hits do not reach the kernel).
+        heap_pops: Heap extractions over all searches, including lazily
+            deleted (stale) entries.
+        edge_relaxations: Successful distance improvements over all searches.
+        cache_hits: Route-cache hits in :class:`~repro.routing.router.Router`.
+        cache_misses: Route-cache misses (each one runs the full planner).
+    """
+
+    dijkstra_calls: int = 0
+    heap_pops: int = 0
+    edge_relaxations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def route_queries(self) -> int:
+        """Total trap-pair route queries answered (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of route queries served from the cache (0.0 when idle)."""
+        queries = self.route_queries
+        return self.cache_hits / queries if queries else 0.0
+
+    def snapshot(self) -> "RoutingCoreStats":
+        """An independent copy (used to compute per-run deltas)."""
+        return replace(self)
+
+    def since(self, baseline: "RoutingCoreStats") -> "RoutingCoreStats":
+        """The counter deltas accumulated since ``baseline`` was snapshot."""
+        return RoutingCoreStats(
+            dijkstra_calls=self.dijkstra_calls - baseline.dijkstra_calls,
+            heap_pops=self.heap_pops - baseline.heap_pops,
+            edge_relaxations=self.edge_relaxations - baseline.edge_relaxations,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            cache_misses=self.cache_misses - baseline.cache_misses,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-JSON representation (counters plus the derived hit rate)."""
+        return {
+            "dijkstra_calls": self.dijkstra_calls,
+            "heap_pops": self.heap_pops,
+            "edge_relaxations": self.edge_relaxations,
+            "route_cache_hits": self.cache_hits,
+            "route_cache_misses": self.cache_misses,
+            "route_cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class CompiledRoutingGraph:
+    """Integer-indexed CSR view of a :class:`RoutingGraph` with a fast kernel.
+
+    Built once per fabric (construction is O(nodes + edges)) and shared by
+    every query on that fabric.  The instance owns mutable scratch arrays, so
+    it must not be shared across threads; sharing across sequential mapping
+    runs is what it is for.  Queries are self-contained — the generation
+    stamps and the epoch-checked weight sync make interleaved use by several
+    routers on the same fabric safe.
+    """
+
+    @classmethod
+    def shared(cls, graph: RoutingGraph) -> "CompiledRoutingGraph":
+        """The memoised compiled view of ``graph`` (graphs are static).
+
+        This is what "built once per fabric" means operationally: every
+        router on the same fabric (MVFB constructs one per pass) reuses the
+        same flattened arrays.  The memo lives on the graph instance itself
+        (a graph↔twin cycle the garbage collector reclaims as a unit), so it
+        dies with the graph.
+        """
+        compiled = graph.__dict__.get("_compiled_twin")
+        if compiled is None:
+            compiled = cls(graph)
+            graph._compiled_twin = compiled  # type: ignore[attr-defined]
+        return compiled
+
+    def __init__(self, graph: RoutingGraph) -> None:
+        self.graph = graph
+        nodes = graph.nodes
+        self._nodes: list[Node] = nodes
+        self._node_index: dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+
+        edge_source: list[int] = []
+        edge_target: list[int] = []
+        edge_length: list[int] = []
+        edge_is_turn: list[bool] = []
+        edge_row_pos: list[int] = []
+        edges = []
+        adjacency: list[list[tuple[float, int, int]]] = []
+        channel_index: dict = {}
+        channel_edges: list[list[int]] = []
+        for i, node in enumerate(nodes):
+            row: list[tuple[float, int, int]] = []
+            for edge in graph.edges_from(node):
+                e = len(edges)
+                edge_source.append(i)
+                edge_target.append(self._node_index[edge.target])
+                edge_length.append(edge.length)
+                edge_is_turn.append(edge.kind is EdgeKind.TURN)
+                edge_row_pos.append(len(row))
+                if edge.kind is not EdgeKind.TURN:
+                    index = channel_index.setdefault(edge.channel_id, len(channel_index))
+                    if index == len(channel_edges):
+                        channel_edges.append([])
+                    channel_edges[index].append(e)
+                row.append((0.0, edge_target[e], e))
+                edges.append(edge)
+            adjacency.append(row)
+        self._adjacency = adjacency
+        self._edge_source = edge_source
+        self._edge_target = edge_target
+        self._edge_length = edge_length
+        self._edge_is_turn = edge_is_turn
+        self._edge_row_pos = edge_row_pos
+        self._edges = edges
+        self._channel_index = channel_index
+        self._channel_edges = channel_edges
+
+        num_nodes = len(nodes)
+        self._dist = [_INF] * num_nodes
+        self._parent = [-1] * num_nodes
+        self._origin = [-1] * num_nodes
+        self._dist_gen = [0] * num_nodes
+        self._visited_gen = [0] * num_nodes
+        self._generation = 0
+
+        # Congestion-dependent weights live inside the adjacency rows and are
+        # patched lazily per epoch; ``_base_weight`` remembers each edge's
+        # congestion-free weight for the reset half of a sync.
+        self._base_weight: list[float] = [0.0] * len(edges)
+        self._touched_edges: list[int] = []
+        self._weight_move_delay: float | None = None
+        self._weight_turn_cost: float | None = None
+        self._weight_epoch = -1
+        self._weight_tracker_id = -1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of routing-graph nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self._edges)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of distinct channels appearing on channel edges."""
+        return len(self._channel_index)
+
+    # ------------------------------------------------------------------
+    # Weight synchronisation
+    # ------------------------------------------------------------------
+    def _set_edge_weight(self, e: int, weight: float) -> None:
+        """Patch the weight member of edge ``e``'s adjacency-row triple."""
+        row = self._adjacency[self._edge_source[e]]
+        position = self._edge_row_pos[e]
+        row[position] = (weight, self._edge_target[e], e)
+
+    def _sync_weights(
+        self, congestion: CongestionTracker, move_delay: float, turn_cost: float
+    ) -> None:
+        """Bring the in-row edge weights up to date with the tracker.
+
+        A no-change epoch match is O(1); otherwise the cost is O(edges of
+        previously and currently occupied channels).  A change of technology
+        parameters (different ``T_move``/``T_turn``, or toggled turn-aware
+        costing) triggers a full O(edges) rebuild.
+        """
+        if (
+            move_delay != self._weight_move_delay
+            or turn_cost != self._weight_turn_cost
+        ):
+            base = self._base_weight
+            lengths = self._edge_length
+            is_turn = self._edge_is_turn
+            for e in range(len(base)):
+                # ``length * move_delay`` is exactly the legacy Eq. (2) value
+                # for an unoccupied channel: (0 + 1) * length * T_move.
+                base[e] = turn_cost if is_turn[e] else lengths[e] * move_delay
+                self._set_edge_weight(e, base[e])
+            self._weight_move_delay = move_delay
+            self._weight_turn_cost = turn_cost
+            self._touched_edges.clear()
+            self._weight_epoch = -1
+        if (
+            congestion.epoch == self._weight_epoch
+            and id(congestion) == self._weight_tracker_id
+        ):
+            return
+        base = self._base_weight
+        for e in self._touched_edges:
+            self._set_edge_weight(e, base[e])
+        self._touched_edges.clear()
+        touched = self._touched_edges
+        lengths = self._edge_length
+        channel_index = self._channel_index
+        channel_edges = self._channel_edges
+        capacity = congestion.channel_capacity
+        for channel_id, count in congestion.snapshot().items():
+            index = channel_index.get(channel_id)
+            if index is None:
+                continue
+            for e in channel_edges[index]:
+                if count >= capacity:
+                    self._set_edge_weight(e, _INF)
+                else:
+                    # Multiplication order matches the legacy kernel exactly:
+                    # ((n + 1) * length) is an exact integer, then one float
+                    # multiply — bit-identical to weights.channel_weight.
+                    self._set_edge_weight(e, (count + 1) * lengths[e] * move_delay)
+                touched.append(e)
+        self._weight_epoch = congestion.epoch
+        self._weight_tracker_id = id(congestion)
+
+    # ------------------------------------------------------------------
+    # The kernel
+    # ------------------------------------------------------------------
+    def shortest_route(
+        self,
+        sources: Mapping[Node, float],
+        targets: Mapping[Node, float],
+        congestion: CongestionTracker,
+        technology: TechnologyParams,
+        *,
+        turn_aware_costing: bool = True,
+        stats: RoutingCoreStats | None = None,
+    ) -> DijkstraResult | None:
+        """Array-based equivalent of :func:`repro.routing.dijkstra.shortest_route`.
+
+        All entry and completion costs must be non-negative (infinity marks a
+        blocked attachment) — the standard Dijkstra precondition, which the
+        frontier pruning additionally relies on.  Source and target nodes
+        must belong to the compiled graph.
+
+        Args:
+            sources: Entry nodes mapped to virtual entry costs.
+            targets: Exit nodes mapped to virtual completion costs.
+            congestion: Current channel occupancy (weights follow Eq. 2).
+            technology: Delay parameters (``T_move``, ``T_turn``).
+            turn_aware_costing: Whether turn edges cost ``T_turn`` during the
+                search (QSPR) or are free (prior tools / ablation).
+            stats: Optional counter sink; incremented in place.
+
+        Returns:
+            The cheapest :class:`DijkstraResult` — identical, route-for-route,
+            to the legacy kernel's answer — or ``None`` when no finite route
+            exists.
+        """
+        node_index = self._node_index
+        turn_cost = technology.turn_delay if turn_aware_costing else 0.0
+        self._sync_weights(congestion, technology.move_delay, turn_cost)
+
+        self._generation += 1
+        generation = self._generation
+        dist = self._dist
+        parent = self._parent
+        origin = self._origin
+        dist_gen = self._dist_gen
+        visited_gen = self._visited_gen
+
+        heap: list[tuple[float, int, int]] = []
+        counter = 0
+        for node, cost in sources.items():
+            if not math.isfinite(cost):
+                continue
+            i = node_index[node]
+            if dist_gen[i] == generation and cost >= dist[i]:
+                continue
+            dist[i] = cost
+            dist_gen[i] = generation
+            origin[i] = i
+            parent[i] = -1
+            heapq.heappush(heap, (cost, counter, i))
+            counter += 1
+        if not heap:
+            return None
+
+        target_cost: dict[int, float] = {}
+        for node, cost in targets.items():
+            if math.isfinite(cost):
+                target_cost[node_index[node]] = cost
+        if not target_cost:
+            return None
+
+        adjacency = self._adjacency
+        best_total = _INF
+        best_exit = -1
+        pops = 0
+        relaxations = 0
+        pop = heapq.heappop
+        push = heapq.heappush
+
+        while heap:
+            cost, _, node = pop(heap)
+            pops += 1
+            if visited_gen[node] == generation or (
+                dist_gen[node] == generation and cost > dist[node]
+            ):
+                continue
+            visited_gen[node] = generation
+            completion = target_cost.get(node)
+            if completion is not None and cost + completion < best_total:
+                best_total = cost + completion
+                best_exit = node
+            # Once the cheapest settled node already exceeds the best complete
+            # route, no better completion can exist.
+            if cost >= best_total:
+                break
+            node_origin = origin[node]
+            for edge_cost, t, e in adjacency[node]:
+                candidate = cost + edge_cost
+                # Frontier pruning (see module docstring); an infinite edge
+                # weight lands here too, since inf >= best_total always.
+                if candidate >= best_total:
+                    continue
+                if dist_gen[t] != generation or candidate < dist[t]:
+                    dist[t] = candidate
+                    dist_gen[t] = generation
+                    origin[t] = node_origin
+                    parent[t] = e
+                    push(heap, (candidate, counter, t))
+                    counter += 1
+                    relaxations += 1
+
+        if stats is not None:
+            stats.dijkstra_calls += 1
+            stats.heap_pops += pops
+            stats.edge_relaxations += relaxations
+
+        if best_exit < 0 or not math.isfinite(best_total):
+            return None
+
+        edge_objects = self._edges
+        edge_source = self._edge_source
+        edges = []
+        node = best_exit
+        while True:
+            e = parent[node]
+            if e < 0:
+                break
+            edges.append(edge_objects[e])
+            node = edge_source[e]
+        edges.reverse()
+        return DijkstraResult(
+            best_total,
+            self._nodes[origin[best_exit]],
+            self._nodes[best_exit],
+            tuple(edges),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledRoutingGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"channels={self.num_channels})"
+        )

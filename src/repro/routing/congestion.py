@@ -5,10 +5,21 @@ or will use the channel as a part of their routing" (the ``n`` of the paper's
 Eq. 2).  The scheduler *reserves* every channel of a planned route when the
 instruction is issued and *releases* each channel when the corresponding
 qubit-exits-channel event fires.
+
+Every mutation bumps the tracker's **epoch**, a monotonically increasing
+stamp drawn from a process-wide counter.  Route plans are pure functions of
+the (static) fabric and the congestion state, so any consumer that tags a
+derived value with the epoch it was computed under — the router's route
+cache, the compiled graph's occupancy mirror — can validate it with one
+integer comparison.  Because the counter is process-wide and also advanced
+when a tracker is created or reset, two *different* trackers can never carry
+the same epoch, so stale derived values from a previous run are never
+mistaken for fresh ones.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 
 from repro.errors import RoutingError
@@ -19,6 +30,9 @@ from repro.fabric.fabric import Fabric
 class CongestionTracker:
     """Mutable occupancy counts of the fabric's channels."""
 
+    #: Process-wide epoch source; see the module docstring.
+    _epoch_source = itertools.count(1)
+
     def __init__(self, fabric: Fabric, channel_capacity: int) -> None:
         if channel_capacity < 1:
             raise RoutingError("channel capacity must be at least 1")
@@ -27,10 +41,20 @@ class CongestionTracker:
         self._occupancy: Counter[ChannelId] = Counter()
         self._peak: Counter[ChannelId] = Counter()
         self._total_reservations = 0
+        self._epoch = next(CongestionTracker._epoch_source)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Stamp of the current congestion state.
+
+        Unchanged epoch ⇒ unchanged occupancy; distinct across all trackers
+        in the process, so epoch-tagged derived values are never confused
+        between runs.
+        """
+        return self._epoch
     def occupancy(self, channel_id: ChannelId) -> int:
         """Current number of qubits using (or booked to use) ``channel_id``."""
         return self._occupancy[channel_id]
@@ -73,6 +97,7 @@ class CongestionTracker:
         self._occupancy[channel_id] += 1
         self._peak[channel_id] = max(self._peak[channel_id], self._occupancy[channel_id])
         self._total_reservations += 1
+        self._epoch = next(CongestionTracker._epoch_source)
 
     def release(self, channel_id: ChannelId) -> None:
         """Free one slot of ``channel_id``.
@@ -85,6 +110,7 @@ class CongestionTracker:
         self._occupancy[channel_id] -= 1
         if self._occupancy[channel_id] == 0:
             del self._occupancy[channel_id]
+        self._epoch = next(CongestionTracker._epoch_source)
 
     def reserve_all(self, channel_ids: list[ChannelId]) -> None:
         """Reserve every channel in ``channel_ids`` atomically.
@@ -101,8 +127,29 @@ class CongestionTracker:
                 self.release(channel_id)
             raise
 
+    def restore_epoch(self, epoch: int) -> None:
+        """Re-stamp the tracker with a previously observed epoch.
+
+        Only valid after a *balanced* mutation sequence: every reserve since
+        ``epoch`` was read has been released again, so the occupancy is
+        exactly the state the epoch stamped.  The router uses this around
+        the temporary reservations of parallel dual-operand planning, so the
+        no-net-change pair does not spuriously invalidate epoch-tagged
+        derived state (the route cache, the compiled core's weight sync).
+
+        Raises:
+            RoutingError: If ``epoch`` is newer than the current epoch (that
+                can never describe the current state).
+        """
+        if epoch > self._epoch:
+            raise RoutingError(
+                f"cannot restore epoch {epoch}: newer than current {self._epoch}"
+            )
+        self._epoch = epoch
+
     def reset(self) -> None:
         """Clear all occupancy (used between independent mapping runs)."""
         self._occupancy.clear()
         self._peak.clear()
         self._total_reservations = 0
+        self._epoch = next(CongestionTracker._epoch_source)

@@ -82,6 +82,24 @@ class RoutingGraph:
         self._adjacency: dict[Node, list[GraphEdge]] = {}
         self._build()
 
+    @classmethod
+    def shared(cls, fabric: Fabric, *, turn_aware: bool = True) -> "RoutingGraph":
+        """The memoised graph of ``fabric`` (fabrics are immutable).
+
+        Routers and simulators are constructed per mapping pass; sharing the
+        graph makes that construction O(1) after the first pass on a fabric.
+        The memo lives on the fabric instance itself (a fabric↔graph
+        reference cycle the garbage collector reclaims as a unit), so sweeps
+        over many fabrics do not accumulate graphs.
+        """
+        per_fabric: dict[bool, RoutingGraph] = fabric.__dict__.setdefault(
+            "_shared_routing_graphs", {}
+        )
+        graph = per_fabric.get(turn_aware)
+        if graph is None:
+            graph = per_fabric[turn_aware] = cls(fabric, turn_aware=turn_aware)
+        return graph
+
     def _add_edge(self, edge: GraphEdge) -> None:
         self._adjacency.setdefault(edge.source, []).append(edge)
 

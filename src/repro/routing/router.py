@@ -10,7 +10,7 @@ where the paper's ``T_congestion`` comes from).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterable
 
@@ -18,6 +18,7 @@ from repro.circuits.circuit import Instruction
 from repro.errors import RoutingError
 from repro.fabric.components import ChannelId, Trap, TrapId
 from repro.fabric.fabric import Fabric
+from repro.routing.compiled import CompiledRoutingGraph, RoutingCoreStats
 from repro.routing.congestion import CongestionTracker
 from repro.routing.dijkstra import shortest_route
 from repro.routing.graph_model import GraphEdge, Node, RoutingGraph
@@ -150,19 +151,66 @@ class InstructionRoute:
         return sum(plan.total_turns for plan in self.plans)
 
 
+#: Route-cache sentinel distinguishing "not cached" from a cached ``None``.
+_UNCACHED = object()
+
+
 class Router:
-    """Plans operand journeys under a given routing policy."""
+    """Plans operand journeys under a given routing policy.
+
+    Two performance layers sit behind the planning API without changing its
+    results:
+
+    * With ``use_compiled=True`` (the default) path selection runs on the
+      :class:`~repro.routing.compiled.CompiledRoutingGraph` kernel, which
+      returns routes identical to the legacy
+      :func:`~repro.routing.dijkstra.shortest_route`.  The legacy path is
+      kept selectable for differential testing and benchmarking.
+    * Planned qubit routes are memoised per ``(source trap, target trap)``
+      pair, validated by the congestion tracker's epoch: between congestion
+      changes, repeated trap-pair queries — the scheduler retries every
+      parked instruction against every candidate trap — are O(1).  Any net
+      congestion change advances the epoch and drops the cache, so a cached
+      plan can never outlive the congestion state it was computed under;
+      the balanced temporary reservations of parallel dual-operand planning
+      restore the epoch they started from and leave the cache intact.
+
+    Counters for both layers accumulate in :attr:`stats`.
+    """
 
     def __init__(
         self,
         fabric: Fabric,
         technology: TechnologyParams = PAPER_TECHNOLOGY,
         policy: RoutingPolicy = QSPR_POLICY,
+        *,
+        use_compiled: bool = True,
+        use_route_cache: bool = True,
     ) -> None:
         self.fabric = fabric
         self.technology = technology
         self.policy = policy
-        self.graph = RoutingGraph(fabric, turn_aware=policy.turn_aware)
+        if use_compiled:
+            # Both graphs are built once per fabric and shared by every
+            # router on it (an MVFB search constructs one per pass).
+            self.graph = RoutingGraph.shared(fabric, turn_aware=policy.turn_aware)
+            self.compiled: CompiledRoutingGraph | None = CompiledRoutingGraph.shared(
+                self.graph
+            )
+        else:
+            # The pre-refactor behaviour, kept faithful for differential
+            # tests and benchmarks: a fresh object graph per router.
+            self.graph = RoutingGraph(fabric, turn_aware=policy.turn_aware)
+            self.compiled = None
+        self.use_route_cache = use_route_cache
+        self.stats = RoutingCoreStats()
+        self._route_cache: dict[tuple[TrapId, TrapId], RoutePlan | None] = {}
+        self._cache_epoch = -1
+
+    @property
+    def use_compiled(self) -> bool:
+        """Whether path selection runs on the compiled kernel."""
+        return self.compiled is not None
 
     # ------------------------------------------------------------------
     # Single-qubit route planning
@@ -198,7 +246,37 @@ class Router:
 
         Returns ``None`` when no finite-cost route exists under the current
         congestion (the caller decides whether to retry later).
+
+        Plans (including unroutable outcomes) are cached per trap pair until
+        the congestion epoch advances; a hit for a different qubit rebinds
+        the plan's qubit name, everything else being qubit-independent.
         """
+        if not self.use_route_cache:
+            return self._plan_qubit_route_uncached(
+                qubit, source_trap_id, target_trap_id, congestion
+            )
+        if congestion.epoch != self._cache_epoch:
+            self._route_cache.clear()
+            self._cache_epoch = congestion.epoch
+        key = (source_trap_id, target_trap_id)
+        cached = self._route_cache.get(key, _UNCACHED)
+        if cached is not _UNCACHED:
+            self.stats.cache_hits += 1
+            if cached is not None and cached.qubit != qubit:
+                cached = replace(cached, qubit=qubit)
+            return cached
+        self.stats.cache_misses += 1
+        plan = self._plan_qubit_route_uncached(qubit, source_trap_id, target_trap_id, congestion)
+        self._route_cache[key] = plan
+        return plan
+
+    def _plan_qubit_route_uncached(
+        self,
+        qubit: str,
+        source_trap_id: TrapId,
+        target_trap_id: TrapId,
+        congestion: CongestionTracker,
+    ) -> RoutePlan | None:
         if source_trap_id == target_trap_id:
             return stationary_plan(qubit, source_trap_id)
         source = self.fabric.trap(source_trap_id)
@@ -216,17 +294,28 @@ class Router:
 
         sources = self._attachment_costs(source, congestion)
         targets = self._attachment_costs(target, congestion)
-        result = shortest_route(
-            self.graph,
-            sources,
-            targets,
-            lambda edge: edge_weight(
-                edge,
+        if self.compiled is not None:
+            result = self.compiled.shortest_route(
+                sources,
+                targets,
                 congestion,
                 self.technology,
                 turn_aware_costing=self.policy.turn_aware,
-            ),
-        )
+                stats=self.stats,
+            )
+        else:
+            self.stats.dijkstra_calls += 1
+            result = shortest_route(
+                self.graph,
+                sources,
+                targets,
+                lambda edge: edge_weight(
+                    edge,
+                    congestion,
+                    self.technology,
+                    turn_aware_costing=self.policy.turn_aware,
+                ),
+            )
         if result is None:
             return None
         entry_junction = result.entry_node[0]
@@ -372,20 +461,26 @@ class Router:
 
         # Parallel movement: temporarily account for the source qubit's
         # reservations so the destination qubit's path selection sees the
-        # extra congestion and the pair never exceeds channel capacity.
+        # extra congestion and the pair never exceeds channel capacity.  The
+        # reserve/release pair is balanced, so the pre-scope epoch is
+        # restored afterwards and the route cache stays valid across the
+        # scope; the destination query itself bypasses the cache (its
+        # overlay congestion state is transient by construction).
         reserved: list[ChannelId] = []
+        epoch_before = congestion.epoch
         try:
             for channel_id in source_plan.channels_used:
                 if congestion.is_full(channel_id):
                     return None
                 congestion.reserve(channel_id)
                 reserved.append(channel_id)
-            dest_plan = self.plan_qubit_route(
+            dest_plan = self._plan_qubit_route_uncached(
                 dest_name, dest_trap, candidate.id, congestion
             )
         finally:
             for channel_id in reversed(reserved):
                 congestion.release(channel_id)
+            congestion.restore_epoch(epoch_before)
         if dest_plan is None:
             return None
         plans = (source_plan, dest_plan)

@@ -13,6 +13,8 @@ end:
 * :mod:`repro.runner.results` — :class:`CellResult`, the flat record every
   cell produces.
 * :mod:`repro.runner.report` — JSON/CSV writers and paper-style tables.
+* :mod:`repro.runner.bench` — the performance microbenchmark suite behind
+  ``qspr-map bench`` and ``BENCH_perf.json``.
 
 A typical batch experiment::
 
@@ -33,6 +35,13 @@ subcommands and the ``benchmarks/`` harness.
 
 from __future__ import annotations
 
+from repro.runner.bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    format_perf_report,
+    measure_speedup,
+    run_perf_suite,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.executor import SweepRun, execute_cell, run_sweep
 from repro.runner.report import cell_table, latency_table, read_json, write_csv, write_json
@@ -48,6 +57,8 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
     "CACHE_SCHEMA",
     "MAPPER_NAMES",
     "PLACER_NAMES",
@@ -59,9 +70,12 @@ __all__ = [
     "SweepRun",
     "cell_table",
     "execute_cell",
+    "format_perf_report",
     "latency_table",
+    "measure_speedup",
     "parse_axis",
     "read_json",
+    "run_perf_suite",
     "run_sweep",
     "write_csv",
     "write_json",

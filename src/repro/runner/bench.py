@@ -1,0 +1,250 @@
+"""Performance microbenchmarks of the mapping hot path (``qspr-map bench``).
+
+The suite times full place-route-simulate pipeline runs on the paper's QECC
+benchmark circuits and measures the speedup of the compiled routing core
+(:mod:`repro.routing.compiled` plus the router's route cache and the fabric's
+spatial memo) against the pre-refactor core.  The baseline leg reproduces the
+pre-refactor behaviour faithfully: object-based Dijkstra, no route cache and
+a fabric with its spatial memo disabled — both legs produce identical
+mapping results, so the comparison is pure wall-clock.
+
+Results are written to ``BENCH_perf.json`` so every future change has a
+recorded trajectory to beat; see ``docs/PERFORMANCE.md`` for how to read the
+report.  The schema is flat JSON on purpose: external tooling (pandas, jq,
+CI artifact diffing) can consume it without knowing this package.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.tables import format_comparison_table
+from repro.circuits.qecc import BENCHMARK_NAMES
+from repro.mapper.options import MapperOptions
+from repro.mapper.result import MappingResult
+from repro.pipeline.circuits import resolve_circuit
+from repro.pipeline.fabrics import resolve_fabric
+from repro.pipeline.stages import MappingPipeline
+
+#: Identifier of the report layout, bumped on incompatible changes.
+BENCH_SCHEMA = "qspr-perf-bench/1"
+
+#: The largest bundled circuit (most qubits); the headline speedup target.
+LARGEST_CIRCUIT = "[[23,1,7]]"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed pipeline configuration.
+
+    Attributes:
+        circuit: Registered benchmark circuit name.
+        fabric: Registered fabric name (the paper's 45x85 fabric by default).
+        placer: Placer evaluated by the pipeline.  ``center`` keeps a single
+            deterministic placement run, so the timing isolates the
+            place-route-simulate hot path rather than a placement search.
+    """
+
+    circuit: str
+    fabric: str = "quale"
+    placer: str = "center"
+
+
+#: Cases timed by ``qspr-map bench --quick`` (CI smoke; a few seconds).
+QUICK_CASES: tuple[BenchCase, ...] = (
+    BenchCase("[[5,1,3]]"),
+    BenchCase("[[7,1,3]]"),
+    BenchCase("[[9,1,3]]"),
+)
+
+#: Cases timed by the full suite: every bundled QECC benchmark.
+FULL_CASES: tuple[BenchCase, ...] = tuple(BenchCase(name) for name in BENCHMARK_NAMES)
+
+#: Circuits the legacy-vs-compiled speedup is measured on.
+QUICK_SPEEDUP_CIRCUITS: tuple[str, ...] = ("[[9,1,3]]",)
+FULL_SPEEDUP_CIRCUITS: tuple[str, ...] = ("[[19,1,7]]", LARGEST_CIRCUIT)
+
+
+def _leg_fabric(fabric_name: str, *, compiled_routing: bool):
+    """A fresh fabric for one timing leg.
+
+    Each leg owns its fabric so no memoised state leaks between legs; the
+    baseline leg disables the spatial memo to match the pre-refactor fabric
+    behaviour.  Within a leg the fabric is reused across repeats — that is
+    how the mappers use fabrics (the per-fabric graph compile is a one-off),
+    and best-of timing then reports the warm steady state.
+    """
+    fabric = resolve_fabric(fabric_name)
+    fabric.spatial_cache_enabled = compiled_routing
+    return fabric
+
+
+def _run_pipeline(
+    circuit_name: str, fabric, placer: str, *, compiled_routing: bool
+) -> tuple[MappingResult, float]:
+    """One timed pipeline run; returns the result and its wall-clock seconds."""
+    circuit = resolve_circuit(circuit_name)
+    options = MapperOptions(placer=placer, compiled_routing=compiled_routing)
+    started = time.perf_counter()
+    result = MappingPipeline.standard().run(circuit, fabric, options=options)
+    return result, time.perf_counter() - started
+
+
+def time_case(case: BenchCase, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` timing of one case on the compiled core."""
+    best_result: MappingResult | None = None
+    best_seconds = float("inf")
+    fabric = _leg_fabric(case.fabric, compiled_routing=True)
+    for _ in range(max(1, repeats)):
+        result, seconds = _run_pipeline(
+            case.circuit, fabric, case.placer, compiled_routing=True
+        )
+        if seconds < best_seconds:
+            best_result, best_seconds = result, seconds
+    assert best_result is not None
+    circuit = resolve_circuit(case.circuit)
+    record = {
+        "circuit": case.circuit,
+        "fabric": case.fabric,
+        "placer": case.placer,
+        "qubits": circuit.num_qubits,
+        "instructions": circuit.num_instructions,
+        "wall_seconds": best_seconds,
+        "latency_us": best_result.latency,
+        "ideal_latency_us": best_result.ideal_latency,
+        "routing_seconds": best_result.routing_seconds,
+    }
+    record.update(best_result.routing_stats.as_dict())
+    return record
+
+
+def measure_speedup(circuit_name: str, fabric_name: str = "quale", repeats: int = 3) -> dict:
+    """Best-of-``repeats`` compiled-vs-pre-refactor speedup on one circuit.
+
+    Both legs run the identical full map-and-simulate pipeline; the result
+    latencies are asserted equal, so the speedup cannot come from doing
+    different work.
+    """
+    baseline_seconds = float("inf")
+    compiled_seconds = float("inf")
+    baseline_latency = compiled_latency = None
+    baseline_fabric = _leg_fabric(fabric_name, compiled_routing=False)
+    compiled_fabric = _leg_fabric(fabric_name, compiled_routing=True)
+    for _ in range(max(1, repeats)):
+        result, seconds = _run_pipeline(
+            circuit_name, baseline_fabric, "center", compiled_routing=False
+        )
+        baseline_seconds = min(baseline_seconds, seconds)
+        baseline_latency = result.latency
+        result, seconds = _run_pipeline(
+            circuit_name, compiled_fabric, "center", compiled_routing=True
+        )
+        compiled_seconds = min(compiled_seconds, seconds)
+        compiled_latency = result.latency
+    if baseline_latency != compiled_latency:  # pragma: no cover - equivalence gate
+        raise AssertionError(
+            f"compiled core changed the result on {circuit_name}: "
+            f"{baseline_latency} != {compiled_latency}"
+        )
+    return {
+        "circuit": circuit_name,
+        "fabric": fabric_name,
+        "baseline": "pre-refactor core (object dijkstra, no route cache, no spatial memo)",
+        "baseline_seconds": baseline_seconds,
+        "compiled_seconds": compiled_seconds,
+        "speedup": baseline_seconds / compiled_seconds if compiled_seconds else 0.0,
+        "latency_us": compiled_latency,
+    }
+
+
+def run_perf_suite(
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    out: str | Path | None = None,
+) -> dict:
+    """Run the perf suite and (optionally) persist the JSON report.
+
+    Args:
+        quick: Run the CI-smoke subset (small circuits, one speedup probe)
+            instead of the full bundled-circuit sweep.
+        repeats: Repetitions per timing; the best (minimum) wall-clock wins.
+        out: Path the JSON report is written to (``BENCH_perf.json`` by
+            convention); ``None`` skips writing.
+
+    Returns:
+        The report dict (also what was serialised to ``out``).
+    """
+    cases = QUICK_CASES if quick else FULL_CASES
+    speedup_circuits = QUICK_SPEEDUP_CIRCUITS if quick else FULL_SPEEDUP_CIRCUITS
+    report = {
+        "schema": BENCH_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cases": [time_case(case, repeats) for case in cases],
+        "speedups": [measure_speedup(name, repeats=repeats) for name in speedup_circuits],
+    }
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def format_perf_report(report: dict) -> str:
+    """Human-readable tables of a :func:`run_perf_suite` report."""
+    case_rows = [
+        (
+            case["circuit"],
+            case["instructions"],
+            round(case["wall_seconds"] * 1000, 1),
+            round(case["routing_seconds"] * 1000, 1),
+            round(100 * case["route_cache_hit_rate"], 1),
+            case["heap_pops"],
+            case["edge_relaxations"],
+        )
+        for case in report["cases"]
+    ]
+    tables = [
+        format_comparison_table(
+            f"Pipeline timings ({report['mode']} mode, best of {report['repeats']})",
+            [
+                "circuit",
+                "instrs",
+                "wall (ms)",
+                "routing (ms)",
+                "cache hit %",
+                "heap pops",
+                "relaxations",
+            ],
+            case_rows,
+        )
+    ]
+    speedup_rows = [
+        (
+            entry["circuit"],
+            round(entry["baseline_seconds"] * 1000, 1),
+            round(entry["compiled_seconds"] * 1000, 1),
+            f"{entry['speedup']:.2f}x",
+        )
+        for entry in report["speedups"]
+    ]
+    tables.append(
+        format_comparison_table(
+            "Compiled core vs pre-refactor core (identical results)",
+            ["circuit", "baseline (ms)", "compiled (ms)", "speedup"],
+            speedup_rows,
+        )
+    )
+    return "\n\n".join(tables)
+
+
+def bundled_case_names(cases: Sequence[BenchCase] = FULL_CASES) -> list[str]:
+    """Circuit names of the given cases (helper for CLI help/tests)."""
+    return [case.circuit for case in cases]

@@ -32,6 +32,13 @@ CSV_FIELDS: tuple[str, ...] = (
     "total_turns",
     "total_congestion_delay",
     "cpu_seconds",
+    "routing_seconds",
+    "route_cache_hits",
+    "route_cache_misses",
+    "route_cache_hit_rate",
+    "dijkstra_calls",
+    "heap_pops",
+    "edge_relaxations",
     "from_cache",
 )
 
@@ -57,6 +64,14 @@ class CellResult:
         total_congestion_delay: Summed busy-queue waiting time.
         cpu_seconds: Mapping CPU time (of the original execution, for cached
             records).
+        routing_seconds: Wall-clock time the winning pass spent planning
+            routes inside the router.
+        route_cache_hits: Route-cache hits of the winning pass.
+        route_cache_misses: Route-cache misses of the winning pass.
+        route_cache_hit_rate: Hit fraction of the route cache (0.0–1.0).
+        dijkstra_calls: Shortest-route searches executed by the winning pass.
+        heap_pops: Heap extractions over those searches.
+        edge_relaxations: Distance improvements over those searches.
         from_cache: Whether this record was served from the result cache.
 
     Example::
@@ -81,6 +96,13 @@ class CellResult:
     total_turns: int = 0
     total_congestion_delay: float = 0.0
     cpu_seconds: float = 0.0
+    routing_seconds: float = 0.0
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
+    route_cache_hit_rate: float = 0.0
+    dijkstra_calls: int = 0
+    heap_pops: int = 0
+    edge_relaxations: int = 0
     from_cache: bool = False
 
     @classmethod
@@ -111,6 +133,13 @@ class CellResult:
             total_turns=result.total_turns,
             total_congestion_delay=result.total_congestion_delay,
             cpu_seconds=result.cpu_seconds,
+            routing_seconds=result.routing_seconds,
+            route_cache_hits=result.routing_stats.cache_hits,
+            route_cache_misses=result.routing_stats.cache_misses,
+            route_cache_hit_rate=result.routing_stats.cache_hit_rate,
+            dijkstra_calls=result.routing_stats.dijkstra_calls,
+            heap_pops=result.routing_stats.heap_pops,
+            edge_relaxations=result.routing_stats.edge_relaxations,
         )
 
     @property

@@ -48,7 +48,7 @@ PLACER_NAMES: tuple[str, ...] = PLACERS.names()
 PLACERLESS_MAPPERS: frozenset[str] = frozenset({"quale", "qpos", "ideal"})
 
 #: Bump when the semantics of a cached record change; part of every cache key.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from repro.fabric.fabric import Fabric
 from repro.placement.base import Placement
 from repro.qidg.analysis import alap_levels
 from repro.qidg.graph import QIDG, build_qidg
+from repro.routing.compiled import RoutingCoreStats
 from repro.routing.congestion import CongestionTracker
 from repro.routing.path import RoutePlan
 from repro.routing.router import InstructionRoute, Router, RoutingPolicy, QSPR_POLICY
@@ -97,6 +98,10 @@ class SimulationOutcome:
         total_congestion_delay: Sum of all instructions' busy-queue waits.
         busy_queue_entries: Number of times any instruction was parked.
         cpu_seconds: Wall-clock time spent simulating.
+        routing_seconds: Wall-clock time spent inside the router planning
+            instruction routes (a subset of ``cpu_seconds``).
+        routing_stats: Routing-core counters accumulated by this run (route
+            cache hits/misses, Dijkstra calls, heap pops, edge relaxations).
     """
 
     latency: float
@@ -110,6 +115,8 @@ class SimulationOutcome:
     total_congestion_delay: float = 0.0
     busy_queue_entries: int = 0
     cpu_seconds: float = 0.0
+    routing_seconds: float = 0.0
+    routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
 
     @property
     def total_routing_delay(self) -> float:
@@ -131,6 +138,7 @@ class FabricSimulator:
         forced_order: list[int] | None = None,
         qidg: QIDG | None = None,
         barrier_scheduling: bool = False,
+        compiled_routing: bool = True,
     ) -> None:
         """Create a simulator.
 
@@ -152,6 +160,11 @@ class FabricSimulator:
                 earlier ALAP levels has finished, so routing never overlaps
                 across levels.  QSPR interleaves scheduling with routing and
                 leaves this off.
+            compiled_routing: Run the router on the compiled routing core
+                (CSR Dijkstra kernel plus the epoch-validated route cache).
+                ``False`` reproduces the pre-refactor object-based core —
+                results are identical either way; only speed differs.  Kept
+                selectable for differential tests and benchmarks.
         """
         self.circuit = circuit
         self.fabric = fabric
@@ -166,7 +179,13 @@ class FabricSimulator:
         self.levels: dict[int, int] | None = (
             alap_levels(self.qidg) if barrier_scheduling else None
         )
-        self.router = Router(fabric, technology, routing_policy)
+        self.router = Router(
+            fabric,
+            technology,
+            routing_policy,
+            use_compiled=compiled_routing,
+            use_route_cache=compiled_routing,
+        )
         self.priorities = compute_priorities(self.qidg, priority_policy, technology)
 
     # ------------------------------------------------------------------
@@ -226,6 +245,16 @@ class _RunState:
             self.records[index] = InstructionRecord(index=index, ready_time=0.0)
         self.routes: dict[int, InstructionRoute] = {}
         self.forced_position = 0
+        # The candidate pool (ready ∪ busy) and its priority-sorted view are
+        # maintained incrementally: parking keeps pool membership, issuing
+        # removes, completion adds the newly ready.  The sorted view is only
+        # rebuilt after a membership change, instead of re-deriving set and
+        # order from scratch on every issue attempt.
+        self.pool: set[int] = set(self.ready)
+        self._pool_dirty = True
+        self._pool_sorted: list[int] = []
+        self.routing_seconds = 0.0
+        self._stats_baseline = sim.router.stats.snapshot()
         self.level_remaining: dict[int, int] = {}
         if sim.levels is not None:
             for level in sim.levels.values():
@@ -236,22 +265,29 @@ class _RunState:
     # ------------------------------------------------------------------
     def _candidates(self) -> list[int]:
         """Instructions eligible for issue, most preferred first."""
-        pool = set(self.ready) | set(self.busy.instructions)
         if self.sim.forced_order is not None:
             if self.forced_position >= len(self.sim.forced_order):
                 return []
             head = self.sim.forced_order[self.forced_position]
-            return [head] if head in pool else []
+            return [head] if head in self.pool else []
         if self.sim.levels is not None:
             open_levels = [
                 level for level, remaining in self.level_remaining.items() if remaining > 0
             ]
+            pool = self.pool
             if open_levels:
                 current_level = min(open_levels)
                 pool = {
                     index for index in pool if self.sim.levels[index] == current_level
                 }
-        return sorted(pool, key=lambda index: (-self.sim.priorities[index], index))
+            return sorted(pool, key=lambda index: (-self.sim.priorities[index], index))
+        if self._pool_dirty:
+            priorities = self.sim.priorities
+            self._pool_sorted = sorted(
+                self.pool, key=lambda index: (-priorities[index], index)
+            )
+            self._pool_dirty = False
+        return self._pool_sorted
 
     def _occupied_traps_for(self, instruction: Instruction) -> set[TrapId]:
         """Traps the router must not pick as the meeting trap."""
@@ -268,12 +304,14 @@ class _RunState:
             issued_any = False
             for index in self._candidates():
                 instruction = self.sim.qidg.instruction(index)
+                plan_started = _time.perf_counter()
                 route = self.sim.router.plan_instruction(
                     instruction,
                     self.positions,
                     self.congestion,
                     occupied_traps=self._occupied_traps_for(instruction),
                 )
+                self.routing_seconds += _time.perf_counter() - plan_started
                 if route is None:
                     if index in self.ready:
                         self.ready.discard(index)
@@ -293,6 +331,8 @@ class _RunState:
         self.ready.discard(index)
         if index in self.busy:
             self.busy.remove(index)
+        self.pool.discard(index)
+        self._pool_dirty = True
         self.deps.mark_issued(index)
         self.schedule.append(index)
         if self.sim.forced_order is not None:
@@ -405,6 +445,8 @@ class _RunState:
             self.level_remaining[self.sim.levels[index]] -= 1
         for newly_ready in self.deps.mark_completed(index):
             self.ready.add(newly_ready)
+            self.pool.add(newly_ready)
+            self._pool_dirty = True
             self.records[newly_ready] = InstructionRecord(index=newly_ready, ready_time=now)
 
     # ------------------------------------------------------------------
@@ -431,6 +473,8 @@ class _RunState:
             ),
             busy_queue_entries=self.busy.total_entries,
             cpu_seconds=cpu_seconds,
+            routing_seconds=self.routing_seconds,
+            routing_stats=self.sim.router.stats.since(self._stats_baseline),
         )
 
 

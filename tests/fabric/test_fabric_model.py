@@ -155,3 +155,30 @@ class TestFabricQueries:
                 fabric.cell_rows,
                 fabric.cell_cols,
             )
+
+
+class TestSpatialMemo:
+    def test_cached_ordering_matches_uncached(self, small_fabric_4x4):
+        point = small_fabric_4x4.center
+        cached = small_fabric_4x4.traps_by_distance(point)
+        small_fabric_4x4.spatial_cache_enabled = False
+        try:
+            uncached = small_fabric_4x4.traps_by_distance(point)
+        finally:
+            small_fabric_4x4.spatial_cache_enabled = True
+        assert cached == uncached
+
+    def test_callers_get_independent_lists(self, small_fabric_4x4):
+        point = (0.0, 0.0)
+        first = small_fabric_4x4.traps_by_distance(point)
+        first.pop()
+        second = small_fabric_4x4.traps_by_distance(point)
+        assert len(second) == len(small_fabric_4x4.traps)
+
+    def test_cache_bound_respected(self, tiny_fabric):
+        for i in range(tiny_fabric._TRAPS_BY_DISTANCE_CACHE_SIZE + 10):
+            tiny_fabric.traps_by_distance((0.0, float(i)))
+        assert (
+            len(tiny_fabric._traps_by_distance_cache)
+            <= tiny_fabric._TRAPS_BY_DISTANCE_CACHE_SIZE
+        )

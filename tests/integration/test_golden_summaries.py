@@ -1,0 +1,88 @@
+"""Golden-file determinism regression for the routing/simulation core.
+
+Full mapper runs on the Table 1 benchmark circuits must produce
+byte-identical :meth:`~repro.mapper.result.MappingResult.summary` output
+across refactors of the performance core.  The summaries are snapshotted
+under ``tests/integration/golden/`` with the one volatile line (wall-clock
+CPU time) normalised; everything else — latency, placements, schedule-derived
+moves/turns, congestion delay and the routing-core counters — must match
+exactly.
+
+A second gate proves the compiled core and the pre-refactor legacy core
+produce identical mapping results: their summaries must agree line for line
+once the core-implementation counters (cache traffic, heap pops), which
+legitimately differ between cores, are stripped.
+
+Regenerate the snapshots after an *intentional* output change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_summaries.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import MapperOptions, QsprMapper, small_fabric
+from repro.circuits.qecc import qecc_encoder
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The Table 1 circuits (the default placer-comparison set of the benchmark
+#: harness), each mapped deterministically; one MVFB search case covers the
+#: seeded placement path.
+CASES: tuple[tuple[str, str, dict], ...] = (
+    ("513-center", "[[5,1,3]]", {"placer": "center"}),
+    ("713-center", "[[7,1,3]]", {"placer": "center"}),
+    ("913-center", "[[9,1,3]]", {"placer": "center"}),
+    ("23117-center", "[[23,1,7]]", {"placer": "center"}),
+    ("513-mvfb", "[[5,1,3]]", {"placer": "mvfb", "num_seeds": 2, "random_seed": 0}),
+)
+
+_CPU_LINE = re.compile(r"^(  mapping CPU time  : ).*$", re.MULTILINE)
+#: Core-implementation counters; legitimately differ between the compiled
+#: and the legacy core (the legacy kernel counts no pops/relaxations and the
+#: legacy configuration runs without the route cache).
+_CORE_LINES = re.compile(r"^  (route cache|dijkstra core)\s*: .*\n", re.MULTILINE)
+
+
+def _summarise(circuit_name: str, mapper_kwargs: dict, *, compiled: bool) -> str:
+    options = MapperOptions(compiled_routing=compiled, **mapper_kwargs)
+    fabric = small_fabric(junction_rows=6, junction_cols=6)
+    result = QsprMapper(options).map(qecc_encoder(circuit_name), fabric)
+    return result.summary()
+
+
+def _normalise(summary: str) -> str:
+    return _CPU_LINE.sub(r"\1<normalised>", summary) + "\n"
+
+
+def _strip_core_counters(summary: str) -> str:
+    text = _CORE_LINES.sub("", summary)
+    # The options line spells out the selected core; equal results are the
+    # point, so the core choice is normalised away as well.
+    return text.replace(" core=legacy", "")
+
+
+@pytest.mark.parametrize("name, circuit, kwargs", CASES, ids=[c[0] for c in CASES])
+def test_summary_matches_golden_snapshot(name, circuit, kwargs):
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    summary = _normalise(_summarise(circuit, kwargs, compiled=True))
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(summary)
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; generate it with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+    assert summary == golden_path.read_text()
+
+
+@pytest.mark.parametrize("name, circuit, kwargs", CASES, ids=[c[0] for c in CASES])
+def test_compiled_and_legacy_cores_agree(name, circuit, kwargs):
+    compiled = _strip_core_counters(_normalise(_summarise(circuit, kwargs, compiled=True)))
+    legacy = _strip_core_counters(_normalise(_summarise(circuit, kwargs, compiled=False)))
+    assert compiled == legacy

@@ -89,3 +89,40 @@ class TestStats:
         tracker.reset()
         assert tracker.occupancy(("h", 0, 0)) == 0
         assert tracker.total_reservations == 0
+
+
+class TestEpoch:
+    def test_epoch_advances_on_every_mutation(self, tracker):
+        seen = [tracker.epoch]
+        tracker.reserve(("h", 0, 0))
+        seen.append(tracker.epoch)
+        tracker.release(("h", 0, 0))
+        seen.append(tracker.epoch)
+        tracker.reset()
+        seen.append(tracker.epoch)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_epoch_stable_across_queries(self, tracker):
+        before = tracker.epoch
+        tracker.occupancy(("h", 0, 0))
+        tracker.is_full(("h", 0, 0))
+        tracker.snapshot()
+        assert tracker.epoch == before
+
+    def test_distinct_trackers_never_share_an_epoch(self, small_fabric_4x4):
+        first = CongestionTracker(small_fabric_4x4, 2)
+        second = CongestionTracker(small_fabric_4x4, 2)
+        assert first.epoch != second.epoch
+
+    def test_restore_epoch_after_balanced_mutations(self, tracker):
+        before = tracker.epoch
+        tracker.reserve(("h", 0, 0))
+        tracker.release(("h", 0, 0))
+        assert tracker.epoch != before
+        tracker.restore_epoch(before)
+        assert tracker.epoch == before
+
+    def test_restore_epoch_rejects_future_epochs(self, tracker):
+        with pytest.raises(RoutingError):
+            tracker.restore_epoch(tracker.epoch + 1)

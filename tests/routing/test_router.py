@@ -154,3 +154,107 @@ class TestPlanInstruction:
             occupied_traps=[unconstrained.target_trap],
         )
         assert blocked.target_trap != unconstrained.target_trap
+
+
+class TestRouteCache:
+    @pytest.fixture
+    def router(self, small_fabric_4x4):
+        return Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+
+    @pytest.fixture
+    def congestion(self, small_fabric_4x4):
+        return CongestionTracker(small_fabric_4x4, 2)
+
+    def _distant_pair(self, fabric):
+        traps = sorted(fabric.traps)
+        return traps[0], traps[-1]
+
+    def test_repeat_query_hits_cache_and_returns_equal_plan(self, router, congestion, small_fabric_4x4):
+        source, target = self._distant_pair(small_fabric_4x4)
+        first = router.plan_qubit_route("q", source, target, congestion)
+        assert router.stats.cache_misses == 1
+        second = router.plan_qubit_route("q", source, target, congestion)
+        assert router.stats.cache_hits == 1
+        assert second == first
+
+    def test_hit_for_other_qubit_rebinds_name_only(self, router, congestion, small_fabric_4x4):
+        source, target = self._distant_pair(small_fabric_4x4)
+        first = router.plan_qubit_route("q", source, target, congestion)
+        second = router.plan_qubit_route("r", source, target, congestion)
+        assert second.qubit == "r"
+        assert second.steps == first.steps
+        assert (second.source_trap, second.target_trap) == (first.source_trap, first.target_trap)
+
+    def test_congestion_change_invalidates_cache(self, router, congestion, small_fabric_4x4):
+        source, target = self._distant_pair(small_fabric_4x4)
+        plan = router.plan_qubit_route("q", source, target, congestion)
+        for channel_id in plan.channels_used:
+            congestion.reserve(channel_id)
+        rerouted = router.plan_qubit_route("q", source, target, congestion)
+        assert router.stats.cache_misses == 2
+        # The occupied channels made the original route more expensive, so
+        # the fresh plan reflects the new congestion state.
+        assert rerouted is None or rerouted.steps != plan.steps or rerouted == plan
+
+    def test_unroutable_outcome_is_cached_until_release(self, router, small_fabric_4x4):
+        congestion = CongestionTracker(small_fabric_4x4, 1)
+        source, target = self._distant_pair(small_fabric_4x4)
+        source_channel = small_fabric_4x4.trap(source).channel_id
+        congestion.reserve(source_channel)
+        assert router.plan_qubit_route("q", source, target, congestion) is None
+        assert router.plan_qubit_route("q", source, target, congestion) is None
+        assert router.stats.cache_hits == 1
+        congestion.release(source_channel)
+        assert router.plan_qubit_route("q", source, target, congestion) is not None
+
+    def test_cache_disabled_router_never_counts_cache_traffic(self, small_fabric_4x4, congestion):
+        router = Router(
+            small_fabric_4x4,
+            PAPER_TECHNOLOGY,
+            RoutingPolicy(),
+            use_compiled=False,
+            use_route_cache=False,
+        )
+        source, target = self._distant_pair(small_fabric_4x4)
+        router.plan_qubit_route("q", source, target, congestion)
+        router.plan_qubit_route("q", source, target, congestion)
+        assert router.stats.cache_hits == 0
+        assert router.stats.cache_misses == 0
+        assert router.stats.dijkstra_calls == 2
+
+    def test_compiled_flag_controls_kernel_choice(self, small_fabric_4x4):
+        assert Router(small_fabric_4x4).use_compiled
+        assert not Router(small_fabric_4x4, use_compiled=False).use_compiled
+
+    def test_shared_graphs_reused_across_routers(self, small_fabric_4x4):
+        first = Router(small_fabric_4x4)
+        second = Router(small_fabric_4x4)
+        assert first.graph is second.graph
+        assert first.compiled is second.compiled
+        oblivious = Router(small_fabric_4x4, policy=RoutingPolicy(turn_aware=False))
+        assert oblivious.graph is not first.graph
+
+    def test_shared_graph_memo_dies_with_the_fabric(self):
+        import gc
+        import weakref
+
+        from repro.fabric.builder import small_fabric
+
+        fabric = small_fabric()
+        Router(fabric)
+        ref = weakref.ref(fabric)
+        del fabric
+        gc.collect()
+        assert ref() is None, "the shared-graph memo kept the fabric alive"
+
+    def test_parallel_temp_reservations_leave_cache_intact(self, small_fabric_4x4, two_qubit_instruction):
+        router = Router(small_fabric_4x4, PAPER_TECHNOLOGY, RoutingPolicy())
+        congestion = CongestionTracker(small_fabric_4x4, 2)
+        traps = sorted(small_fabric_4x4.traps)
+        positions = {"a": traps[0], "b": traps[-1]}
+        epoch = congestion.epoch
+        route = router.plan_instruction(two_qubit_instruction, positions, congestion)
+        assert route is not None
+        # The balanced temporary reservations of dual-operand planning must
+        # not advance the epoch, so cached plans stay valid afterwards.
+        assert congestion.epoch == epoch
