@@ -1,0 +1,78 @@
+"""Boot the mapping service in-process and run a job end to end.
+
+This is the library-level tour of ``docs/SERVICE.md``: start a
+:class:`~repro.service.api.MappingService` on an ephemeral port, submit a
+spec and a small sweep over HTTP, poll to completion, read the metrics and
+demonstrate content-hash dedup — all inside one Python process (workers run
+as threads here so the example is sandbox-friendly; a real deployment uses
+``qspr-map serve --workers N`` with processes).
+
+Run with::
+
+    PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.service import MappingService, ServiceClient, ServiceConfig
+
+
+def main() -> None:
+    state_dir = tempfile.mkdtemp(prefix="qspr-service-")
+    config = ServiceConfig(port=0, workers=2, use_threads=True).under(state_dir)
+    service = MappingService(config)
+    service.start()
+    print(f"service listening on {service.url} (state in {state_dir})")
+
+    client = ServiceClient(service.url)
+    print("health:", client.health())
+
+    # One job: the [[5,1,3]] QECC encoder on a small 4x4 fabric.
+    spec = {
+        "circuit": "[[5,1,3]]",
+        "placer": "center",
+        "fabric": {"junction_rows": 4, "junction_cols": 4},
+    }
+    job = client.submit({"spec": spec})["jobs"][0]
+    print(f"submitted job {job['id']} ({job['status']})")
+    done = client.wait(job["id"], timeout=120.0)
+    result = client.result(done["id"])["result"]
+    print(f"done: latency {result['latency']:.1f} us "
+          f"(ideal {result['ideal_latency']:.1f} us)")
+
+    # Resubmitting the identical spec never re-runs the mapper.
+    again = client.submit({"spec": spec})
+    print(f"resubmit: created={again['created']} deduped={again['deduped']}")
+
+    # A whole sweep expands server-side into per-cell jobs.
+    sweep = {
+        "circuits": "[[5,1,3]],[[7,1,3]]",
+        "mappers": "qspr,ideal",
+        "placers": "center",
+        "fabrics": [{"junction_rows": 4, "junction_cols": 4}],
+    }
+    submission = client.submit({"sweep": sweep})
+    print(f"sweep: {len(submission['jobs'])} jobs "
+          f"({submission['created']} new, {submission['deduped']} deduped)")
+    for finished in client.wait([j["id"] for j in submission["jobs"]], timeout=300.0):
+        spec_info = finished["spec"]
+        print(f"  {finished['id']} {spec_info['circuit']:<10} "
+              f"{spec_info['mapper']:<6} -> {finished['status']}")
+
+    metrics = client.metrics()
+    print("metrics: "
+          f"{metrics['done']} done, "
+          f"{metrics['executed_jobs']} executed / "
+          f"{metrics['cache_served_jobs']} cache-served, "
+          f"routing {metrics['routing_seconds']:.3f} s of "
+          f"{metrics['wall_seconds']['total']:.3f} s wall")
+    print("stage seconds:", {k: round(v, 3) for k, v in metrics["stage_seconds"].items()})
+
+    service.shutdown()
+    print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

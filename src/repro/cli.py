@@ -1,7 +1,7 @@
 """Command-line interface: ``qspr-map``.
 
-Five subcommands cover the single-shot, batch, benchmarking and discovery
-workflows:
+The subcommands cover the single-shot, batch, benchmarking, discovery and
+service workflows:
 
 * ``qspr-map run`` — map one QASM file (or registered benchmark circuit)
   onto an ion-trap fabric and print the latency report.  For backward
@@ -9,7 +9,8 @@ workflows:
   "[[5,1,3]]"`` is equivalent to ``qspr-map run --benchmark "[[5,1,3]]"``.
 * ``qspr-map sweep`` — expand a mappers × placers × circuits × seeds grid,
   execute it (process-parallel with ``--jobs``, cached on disk) and write
-  JSON + CSV results plus a latency comparison table.
+  JSON + CSV results plus a latency comparison table.  Ctrl-C is graceful:
+  partial results are still written.
 * ``qspr-map report`` — re-render the tables from a previous sweep's
   ``results.json`` without re-running anything.
 * ``qspr-map bench`` — time the place-route-simulate hot path on the paper's
@@ -17,6 +18,13 @@ workflows:
   and write ``BENCH_perf.json`` (see ``docs/PERFORMANCE.md``).
 * ``qspr-map list`` — enumerate every plugin registered in the mapper,
   placer, fabric and circuit registries (built-ins and third-party).
+* ``qspr-map serve`` — run the mapping service: a persistent SQLite job
+  store, a worker pool and the HTTP JSON API (see ``docs/SERVICE.md``).
+* ``qspr-map submit`` / ``status`` / ``jobs`` / ``cancel`` — the service
+  client: submit specs or whole sweeps over HTTP (``submit --wait`` polls to
+  completion), inspect and cancel jobs.
+* ``qspr-map cache`` — inspect (``info``) or age-out (``prune``) the on-disk
+  result cache shared by sweeps and the service.
 
 Every mapper, placer, fabric and circuit name on the command line is
 resolved through the :mod:`repro.pipeline` registries, so plugins imported
@@ -32,12 +40,19 @@ Examples::
     qspr-map report sweep-out/results.json
     qspr-map bench --quick --out BENCH_perf.json
     qspr-map list --registry placers
+    qspr-map serve --port 8321 --workers 4 --out service-out
+    qspr-map submit --benchmarks "[[5,1,3]]" --placers center --wait
+    qspr-map status JOB_ID
+    qspr-map jobs --status queued
+    qspr-map cache info --cache-dir sweep-out/cache
+    qspr-map cache prune --cache-dir sweep-out/cache --max-age-days 30
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import repro
@@ -69,7 +84,13 @@ from repro.runner import (
 from repro.viz.trace_render import render_gantt
 
 #: Subcommand names; anything else on the command line means legacy ``run``.
-_COMMANDS = ("run", "sweep", "report", "bench", "list")
+_COMMANDS = (
+    "run", "sweep", "report", "bench", "list",
+    "serve", "submit", "status", "jobs", "cancel", "cache",
+)
+
+#: Default URL of the service client subcommands.
+_DEFAULT_URL = "http://127.0.0.1:8321"
 
 
 def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
@@ -122,34 +143,65 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--show-trace", action="store_true", help="print a per-qubit Gantt chart")
 
 
-def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_sweep_axis_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    benchmarks: str = '[[5,1,3]]',
+    mappers: str = "qspr",
+    placers: str = "mvfb",
+    seeds: str = "3",
+) -> None:
+    """The grid-axis flags shared by ``sweep`` and ``submit``."""
     parser.add_argument(
         "--benchmarks",
-        default="[[5,1,3]],[[7,1,3]]",
+        default=benchmarks,
         help="comma-separated QECC benchmark names or QASM paths "
-        '(default: "[[5,1,3]],[[7,1,3]]")',
+        f'(default: "{benchmarks}")',
     )
     parser.add_argument(
         "--mappers",
-        default="qspr,quale",
+        default=mappers,
         help=f"comma-separated registered mappers from {MAPPERS.names()} "
-        "(default: qspr,quale)",
+        f"(default: {mappers})",
     )
     parser.add_argument(
         "--placers",
-        default="mvfb",
-        help="comma-separated registered QSPR placers (default: mvfb)",
+        default=placers,
+        help=f"comma-separated registered QSPR placers (default: {placers})",
     )
     parser.add_argument(
         "--seeds",
-        default="2",
+        default=seeds,
         help="comma-separated MVFB seed counts m; Monte-Carlo uses the same "
-        "value as its run budget m' (default: 2)",
+        f"value as its run budget m' (default: {seeds})",
     )
     parser.add_argument(
         "--random-seeds", default="0", help="comma-separated random seeds (default: 0)"
     )
     _add_fabric_arguments(parser)
+
+
+def _sweep_from_args(args: argparse.Namespace) -> Sweep:
+    """Build the declarative grid from parsed axis/fabric flags."""
+    fabric = FabricCell(
+        junction_rows=args.fabric_rows,
+        junction_cols=args.fabric_cols,
+        channel_length=args.channel_length,
+    )
+    return Sweep(
+        circuits=parse_axis(args.benchmarks),
+        mappers=parse_axis(args.mappers),
+        placers=parse_axis(args.placers),
+        num_seeds=_int_axis(args.seeds, "--seeds"),
+        random_seeds=_int_axis(args.random_seeds, "--random-seeds"),
+        fabrics=(fabric,),
+    )
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_sweep_axis_arguments(
+        parser, benchmarks="[[5,1,3]],[[7,1,3]]", mappers="qspr,quale", seeds="2"
+    )
     parser.add_argument(
         "--out",
         default="sweep-out",
@@ -229,6 +281,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="limit the listing to one registry (default: all four)",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the mapping service (job store + workers + HTTP API)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port, 0 = ephemeral (default: 8321)"
+    )
+    serve_parser.add_argument(
+        "--out",
+        default="service-out",
+        help="state directory holding jobs.sqlite3 and the result cache "
+        "(default: service-out)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: 1)",
+    )
+    serve_parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="run workers as threads instead of processes",
+    )
+    serve_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=300.0,
+        help="seconds before a running job counts as orphaned (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared result cache (jobs still dedup against each other)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a spec or sweep to a running mapping service"
+    )
+    submit_parser.add_argument(
+        "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+    _add_sweep_axis_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="poll the submitted jobs to completion"
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="deadline of --wait in seconds (default: 600)",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status", help="show one service job's lifecycle record"
+    )
+    status_parser.add_argument("job", help="job id returned by submit")
+    status_parser.add_argument(
+        "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+
+    jobs_parser = subparsers.add_parser("jobs", help="list the service's jobs")
+    jobs_parser.add_argument(
+        "--status",
+        default=None,
+        help="only jobs in this status (queued/running/done/failed/cancelled)",
+    )
+    jobs_parser.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        help="maximum number of jobs to list (default: 200)",
+    )
+    jobs_parser.add_argument(
+        "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+
+    cancel_parser = subparsers.add_parser("cancel", help="cancel a service job")
+    cancel_parser.add_argument("job", help="job id returned by submit")
+    cancel_parser.add_argument(
+        "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune the on-disk result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("info", "prune"), help="what to do with the cache"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default="sweep-out/cache",
+        help="cache directory (default: sweep-out/cache)",
+    )
+    cache_parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="prune only records older than this many days (default: prune all)",
+    )
     return parser
 
 
@@ -297,19 +452,7 @@ def _int_axis(text: str, flag: str) -> tuple[int, ...]:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    fabric = FabricCell(
-        junction_rows=args.fabric_rows,
-        junction_cols=args.fabric_cols,
-        channel_length=args.channel_length,
-    )
-    sweep = Sweep(
-        circuits=parse_axis(args.benchmarks),
-        mappers=parse_axis(args.mappers),
-        placers=parse_axis(args.placers),
-        num_seeds=_int_axis(args.seeds, "--seeds"),
-        random_seeds=_int_axis(args.random_seeds, "--random-seeds"),
-        fabrics=(fabric,),
-    )
+    sweep = _sweep_from_args(args)
     out = Path(args.out)
     cache = None
     if not args.no_cache:
@@ -317,13 +460,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     run = run_sweep(sweep, cache=cache, workers=args.jobs)
 
+    # Written even after Ctrl-C: an interrupted run still reports the cells
+    # it completed instead of losing the sweep.
     json_path = write_json(run.results, out / "results.json")
     csv_path = write_csv(run.results, out / "results.csv")
-    print(latency_table(run.results))
-    print(cell_table(run.results))
+    if run.results:
+        print(latency_table(run.results))
+        print(cell_table(run.results))
     print(run.summary())
     print(f"results: {json_path} and {csv_path}")
-    return 0
+    return 130 if run.interrupted else 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -345,6 +491,145 @@ def _command_list(args: argparse.Namespace) -> int:
     for title in selected:
         registry = REGISTRIES[title]
         print(f"{title:<{width}} : {', '.join(registry.names())}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the mapping service in the foreground (``qspr-map serve``)."""
+    from repro.service import MappingService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        lease_seconds=args.lease_seconds,
+        use_threads=args.threads,
+    ).under(args.out)
+    if args.no_cache:
+        config = replace(config, cache_dir=None)
+    service = MappingService(config)
+    service.start()
+    workers = service.pool.alive_workers()
+    print(f"mapping service listening on {service.url}", flush=True)
+    print(f"job store: {config.db_path}", flush=True)
+    print(f"workers  : {workers} ({service.pool.mode} mode)", flush=True)
+
+    # SIGTERM (docker stop, CI teardown) gets the same graceful drain as
+    # Ctrl-C.  Registration fails outside the main thread (tests) — fine.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass
+
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down: draining workers, requeueing in-flight jobs ...")
+        service.shutdown()
+        counts = service.store.counts()
+        print(
+            f"stopped; {counts['done']} done, {counts['queued']} queued, "
+            f"{counts['failed']} failed"
+        )
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job_line(job: dict) -> None:
+    spec = job.get("spec", {})
+    label = f"{spec.get('mapper', '?')}"
+    if spec.get("placer"):
+        label += f"/{spec['placer']}"
+    line = f"{job['id']}  {job['status']:<9}  {spec.get('circuit', '?'):<12} {label}"
+    if job.get("error"):
+        line += f"  error: {job['error']}"
+    print(line)
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    """Submit a spec/sweep to a running service (``qspr-map submit``)."""
+    client = _client(args)
+    submission = client.submit(_sweep_from_args(args))
+    print(
+        f"submitted {len(submission['jobs'])} jobs "
+        f"({submission['created']} new, {submission['deduped']} deduplicated)"
+    )
+    for job in submission["jobs"]:
+        _print_job_line(job)
+    if not args.wait:
+        return 0
+
+    job_ids = [job["id"] for job in submission["jobs"]]
+    finished = client.wait(job_ids, timeout=args.timeout)
+    failures = 0
+    print()
+    for job in finished:
+        _print_job_line(job)
+        if job["status"] == "done":
+            result = client.result(job["id"])["result"]
+            print(
+                f"    latency {result['latency']:.1f} us "
+                f"(ideal {result['ideal_latency']:.1f} us"
+                + (", from cache)" if result.get("from_cache") else ")")
+            )
+        else:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    """Show one job's lifecycle record (``qspr-map status``)."""
+    job = _client(args).job(args.job)
+    for key in (
+        "id", "status", "attempts", "worker", "created_at", "started_at",
+        "finished_at", "cancel_requested", "error",
+    ):
+        print(f"{key:<16}: {job.get(key)}")
+    print(f"{'spec':<16}: {job.get('spec')}")
+    if job.get("result"):
+        print(f"{'latency':<16}: {job['result']['latency']:.1f} us")
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    """List the service's jobs (``qspr-map jobs``)."""
+    jobs = _client(args).jobs(status=args.status, limit=args.limit)
+    for job in jobs:
+        _print_job_line(job)
+    suffix = " (truncated; raise --limit to see more)" if len(jobs) == args.limit else ""
+    print(f"{len(jobs)} jobs{suffix}")
+    return 0
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued/running job (``qspr-map cancel``)."""
+    job = _client(args).cancel(args.job)
+    _print_job_line(job)
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the result cache (``qspr-map cache info|prune``)."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        print(cache.info().describe())
+        return 0
+    removed = cache.prune(max_age_days=args.max_age_days)
+    scope = (
+        f"older than {args.max_age_days:g} days" if args.max_age_days is not None else "all"
+    )
+    print(f"pruned {removed} cache records ({scope})")
+    print(cache.info().describe())
     return 0
 
 
@@ -382,6 +667,12 @@ def main(argv: list[str] | None = None) -> int:
         "report": _command_report,
         "bench": _command_bench,
         "list": _command_list,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "status": _command_status,
+        "jobs": _command_jobs,
+        "cancel": _command_cancel,
+        "cache": _command_cache,
     }[args.command]
     try:
         return handler(args)

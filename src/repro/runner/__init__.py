@@ -42,8 +42,8 @@ from repro.runner.bench import (
     measure_speedup,
     run_perf_suite,
 )
-from repro.runner.cache import ResultCache
-from repro.runner.executor import SweepRun, execute_cell, run_sweep
+from repro.runner.cache import CacheInfo, ResultCache
+from repro.runner.executor import SweepRun, execute_cell, map_spec, run_sweep
 from repro.runner.report import cell_table, latency_table, read_json, write_csv, write_json
 from repro.runner.results import CellResult
 from repro.runner.spec import (
@@ -60,6 +60,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchCase",
     "CACHE_SCHEMA",
+    "CacheInfo",
     "MAPPER_NAMES",
     "PLACER_NAMES",
     "CellResult",
@@ -72,6 +73,7 @@ __all__ = [
     "execute_cell",
     "format_perf_report",
     "latency_table",
+    "map_spec",
     "measure_speedup",
     "parse_axis",
     "read_json",

@@ -10,10 +10,48 @@ or editing a QASM file — transparently re-executes the affected cells.
 from __future__ import annotations
 
 import json
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.runner.results import CellResult
-from repro.runner.spec import ExperimentSpec
+from repro.runner.spec import CACHE_SCHEMA, ExperimentSpec
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of an on-disk :class:`ResultCache` (``qspr-map cache info``).
+
+    Attributes:
+        directory: The cache directory.
+        entries: Number of cached cell records.
+        total_bytes: Summed size of the record files.
+        schema_version: The *current* cache-key schema
+            (:data:`~repro.runner.spec.CACHE_SCHEMA`); records written under
+            older schemas simply never match a key again and only cost disk.
+        oldest_age_days: Age of the oldest record in days (0.0 when empty).
+        newest_age_days: Age of the newest record in days (0.0 when empty).
+    """
+
+    directory: str
+    entries: int = 0
+    total_bytes: int = 0
+    schema_version: int = CACHE_SCHEMA
+    oldest_age_days: float = 0.0
+    newest_age_days: float = 0.0
+
+    def describe(self) -> str:
+        """Human-readable multi-line account of the cache."""
+        return "\n".join(
+            [
+                f"cache directory : {self.directory}",
+                f"entries         : {self.entries}",
+                f"size            : {self.total_bytes} bytes",
+                f"schema version  : {self.schema_version}",
+                f"oldest entry    : {self.oldest_age_days:.1f} days",
+                f"newest entry    : {self.newest_age_days:.1f} days",
+            ]
+        )
 
 
 class ResultCache:
@@ -81,6 +119,55 @@ class ResultCache:
         if not self.directory.exists():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def info(self, *, now: float | None = None) -> CacheInfo:
+        """Inspect the cache without touching it (``qspr-map cache info``).
+
+        Example::
+
+            >>> import tempfile
+            >>> ResultCache(tempfile.mkdtemp()).info().entries
+            0
+        """
+        now = time.time() if now is None else now
+        ages = []
+        total_bytes = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                stat = path.stat()
+                total_bytes += stat.st_size
+                ages.append(max(0.0, now - stat.st_mtime) / 86400.0)
+        return CacheInfo(
+            directory=str(self.directory),
+            entries=len(ages),
+            total_bytes=total_bytes,
+            oldest_age_days=max(ages) if ages else 0.0,
+            newest_age_days=min(ages) if ages else 0.0,
+        )
+
+    def prune(self, *, max_age_days: float | None = None, now: float | None = None) -> int:
+        """Delete records older than ``max_age_days``; returns how many.
+
+        Without ``max_age_days`` every record is removed (same as
+        :meth:`clear`) — the cache otherwise grows without bound.
+
+        Example::
+
+            >>> import tempfile
+            >>> ResultCache(tempfile.mkdtemp()).prune(max_age_days=30)
+            0
+        """
+        if max_age_days is None:
+            return self.clear()
+        now = time.time() if now is None else now
+        cutoff = now - max_age_days * 86400.0
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every cached record; returns how many were removed.

@@ -29,13 +29,36 @@ from repro.runner.spec import ExperimentSpec, Sweep
 ProgressCallback = Callable[[int, int, CellResult], None]
 
 
+def map_spec(spec: ExperimentSpec, *, fabric=None):
+    """Run one declarative spec end to end and return the full mapping result.
+
+    This is the shared task-execution core of both the sweep runner and the
+    job-service workers: it builds the circuit, fabric and mapper from the
+    spec (each resolved through the :mod:`repro.pipeline` registries) and
+    returns the live :class:`~repro.mapper.result.MappingResult` — including
+    ``stage_seconds`` and routing counters that the flat
+    :class:`~repro.runner.results.CellResult` summary does not carry.
+
+    Args:
+        spec: The experiment cell to execute.
+        fabric: Optional pre-built :class:`~repro.fabric.fabric.Fabric` for
+            ``spec.fabric``.  Fabrics are immutable and memoise their routing
+            graphs, so a long-lived worker can pass the same fabric to every
+            job that targets the same geometry and pay the graph-compilation
+            cost once.
+    """
+    circuit = spec.build_circuit()
+    if fabric is None:
+        fabric = spec.build_fabric()
+    mapper = spec.build_mapper()
+    return mapper.map(circuit, fabric)
+
+
 def execute_cell(spec: ExperimentSpec) -> CellResult:
     """Execute one experiment cell and summarise it.
 
-    This is the unit of work of the process pool; it builds the circuit,
-    fabric and mapper from the declarative spec (each resolved through the
-    :mod:`repro.pipeline` registries), so it only needs the spec itself to
-    cross the process boundary.
+    This is the unit of work of the process pool; thanks to :func:`map_spec`
+    it only needs the picklable spec itself to cross the process boundary.
 
     Example::
 
@@ -46,11 +69,7 @@ def execute_cell(spec: ExperimentSpec) -> CellResult:
         >>> cell.latency > cell.ideal_latency > 0
         True
     """
-    circuit = spec.build_circuit()
-    fabric = spec.build_fabric()
-    mapper = spec.build_mapper()
-    result = mapper.map(circuit, fabric)
-    return CellResult.from_mapping(spec, result)
+    return CellResult.from_mapping(spec, map_spec(spec))
 
 
 @dataclass
@@ -64,6 +83,9 @@ class SweepRun:
         executed: Cells actually mapped in this run.
         cached: Cells served from the result cache.
         wall_seconds: Wall-clock duration of the whole sweep.
+        interrupted: Whether the sweep was cut short by Ctrl-C
+            (:class:`KeyboardInterrupt`).  The completed cells are still in
+            :attr:`results`, so partial reports can be written.
 
     Example::
 
@@ -77,11 +99,17 @@ class SweepRun:
     executed: int = 0
     cached: int = 0
     wall_seconds: float = 0.0
+    interrupted: bool = False
 
     @property
     def total(self) -> int:
         """Number of grid cells in the sweep."""
         return len(self.specs)
+
+    @property
+    def missing(self) -> int:
+        """Cells that never produced a result (non-zero only when interrupted)."""
+        return self.total - len(self.results)
 
     def summary(self) -> str:
         """One-line account of the run (printed by ``qspr-map sweep``).
@@ -91,10 +119,13 @@ class SweepRun:
             >>> SweepRun(specs=(), results=[], executed=0, cached=0).summary()
             'mapped 0 cells: 0 executed, 0 from cache (0.0 s)'
         """
-        return (
+        line = (
             f"mapped {self.total} cells: {self.executed} executed, "
             f"{self.cached} from cache ({self.wall_seconds:.1f} s)"
         )
+        if self.interrupted:
+            line += f" — interrupted, {self.missing} cells not mapped"
+        return line
 
 
 def run_sweep(
@@ -117,7 +148,10 @@ def run_sweep(
             when ``workers`` > 1).
 
     Returns:
-        A :class:`SweepRun` with results in grid order.
+        A :class:`SweepRun` with results in grid order.  A Ctrl-C during
+        execution does not lose the sweep: the run comes back with
+        ``interrupted=True`` and every cell completed so far, so callers can
+        still write partial reports.
 
     Example::
 
@@ -143,19 +177,32 @@ def run_sweep(
         else:
             pending.append(index)
 
-    for index, result in _execute_pending(specs, pending, workers):
-        results[index] = result
-        if cache is not None:
-            cache.store(specs[index], result)
-        if progress is not None:
-            progress(index, total, result)
+    interrupted = False
+    try:
+        for index, result in _execute_pending(specs, pending, workers):
+            results[index] = result
+            if cache is not None:
+                cache.store(specs[index], result)
+            if progress is not None:
+                progress(index, total, result)
+    except KeyboardInterrupt:
+        # Graceful Ctrl-C: keep every completed cell so the caller can still
+        # write partial reports instead of losing the whole sweep.
+        interrupted = True
+        warnings.warn(
+            "sweep interrupted; returning partial results",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
+    executed = sum(1 for index in pending if index in results)
     return SweepRun(
         specs=specs,
-        results=[results[index] for index in range(total)],
-        executed=len(pending),
+        results=[results[index] for index in range(total) if index in results],
+        executed=executed,
         cached=total - len(pending),
         wall_seconds=time.perf_counter() - start,
+        interrupted=interrupted,
     )
 
 
@@ -171,19 +218,30 @@ def _execute_pending(
     """
     done: set[int] = set()
     if workers != 1 and len(pending) > 1:
+        pool = None
         try:
-            with ProcessPoolExecutor(max_workers=workers if workers > 0 else None) as pool:
-                cells = [specs[index] for index in pending]
-                for index, result in zip(pending, pool.map(execute_cell, cells)):
-                    done.add(index)
-                    yield index, result
+            pool = ProcessPoolExecutor(max_workers=workers if workers > 0 else None)
+            cells = [specs[index] for index in pending]
+            for index, result in zip(pending, pool.map(execute_cell, cells)):
+                done.add(index)
+                yield index, result
+            pool.shutdown()
             return
         except (OSError, PermissionError, BrokenProcessPool) as exc:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
             warnings.warn(
                 f"process pool unavailable ({exc}); falling back to sequential execution",
                 RuntimeWarning,
                 stacklevel=2,
             )
+        except BaseException:
+            # The consumer abandoned us (Ctrl-C closes the generator): cancel
+            # every not-yet-started cell instead of silently finishing the
+            # whole grid inside the pool's exit handler.
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise
     for index in pending:
         if index not in done:
             yield index, execute_cell(specs[index])

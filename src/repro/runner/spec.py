@@ -427,6 +427,55 @@ class Sweep:
                                 cells.setdefault(spec, None)
         return tuple(cells)
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        Example::
+
+            >>> Sweep.from_dict(Sweep(circuits=("ghz",)).to_dict()).circuits
+            ('ghz',)
+        """
+        record = {
+            f.name: list(getattr(self, f.name)) for f in fields(self) if f.name != "fabrics"
+        }
+        record["fabrics"] = [
+            {f.name: getattr(fabric, f.name) for f in fields(fabric)}
+            for fabric in self.fabrics
+        ]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Sweep":
+        """Rebuild a sweep from :meth:`to_dict` output (e.g. an API payload).
+
+        Unknown keys raise :class:`~repro.errors.MappingError` so malformed
+        service submissions fail at enqueue time, not at execution time.
+        """
+        data = dict(record)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise MappingError(
+                f"unknown sweep axes: {', '.join(unknown)} (known: {', '.join(sorted(known))})"
+            )
+        if "fabrics" in data:
+            data["fabrics"] = tuple(
+                fabric if isinstance(fabric, FabricCell) else FabricCell(**fabric)
+                for fabric in data["fabrics"]
+            )
+        for name in ("circuits", "mappers", "placers"):
+            if name in data:
+                data[name] = parse_axis(data[name])
+        for name in ("num_seeds", "random_seeds"):
+            if name in data:
+                axis = data[name]
+                if isinstance(axis, str):  # "2,5" — same style as the name axes
+                    axis = parse_axis(axis)
+                elif isinstance(axis, (int, float)):
+                    axis = (axis,)
+                data[name] = tuple(int(value) for value in axis)
+        return cls(**data)
+
 
 def parse_axis(text: str | Sequence[str]) -> tuple[str, ...]:
     """Split a comma-separated CLI axis value into a tuple.

@@ -1,0 +1,82 @@
+"""Mapping-as-a-service: a durable job queue + HTTP API over the pipeline.
+
+Where :mod:`repro.runner` executes one sweep in one process and exits, this
+subpackage turns the mapper into a long-running service: jobs are submitted
+over HTTP, persisted in SQLite, executed by a pool of workers that share
+compiled-routing fabrics, deduplicated by content hash against both earlier
+jobs and the on-disk :class:`~repro.runner.cache.ResultCache`, and survive
+crashes (orphaned jobs are requeued when their lease expires).
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, the deployment knobs.
+* :mod:`repro.service.jobs` — the :class:`Job` model and its lifecycle
+  (``queued → running → done | failed | cancelled``), plus enqueue-time
+  payload validation against the :mod:`repro.pipeline` registries.
+* :mod:`repro.service.store` — :class:`JobStore`, the WAL-mode SQLite queue
+  with atomic claims, dedup and crash-safe orphan requeue.
+* :mod:`repro.service.worker` — :class:`WorkerPool` / :func:`worker_loop`,
+  N processes (or threads) draining the store through
+  :func:`~repro.runner.executor.map_spec`.
+* :mod:`repro.service.api` — :class:`MappingService`, the stdlib
+  ``http.server`` JSON API (``POST /jobs``, ``GET /jobs/{id}``, ``/healthz``,
+  ``/metrics``…).
+* :mod:`repro.service.client` — :class:`ServiceClient`, the urllib client
+  behind the ``qspr-map submit/status/jobs/cancel`` subcommands.
+* :mod:`repro.service.metrics` — :func:`service_metrics`, queue/throughput/
+  per-stage-seconds aggregation for ``GET /metrics``.
+
+Boot a service and run a job end to end, all in-process::
+
+    from repro.service import MappingService, ServiceClient, ServiceConfig
+
+    service = MappingService(ServiceConfig(port=0).under("service-out"))
+    service.start()
+    client = ServiceClient(service.url)
+    job = client.submit({"circuit": "[[5,1,3]]", "placer": "center"})["jobs"][0]
+    done = client.wait(job["id"])
+    print(client.result(done["id"])["result"]["latency"])
+    service.shutdown()
+
+The CLI front door is ``qspr-map serve`` / ``submit`` / ``status`` / ``jobs``
+/ ``cancel``; the full API reference lives in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.service.api import MappingService
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATUSES,
+    Job,
+    spec_from_payload,
+    sweep_from_payload,
+)
+from repro.service.metrics import service_metrics
+from repro.service.store import JobStore
+from repro.service.worker import WorkerPool, execute_job, worker_loop
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "STATUSES",
+    "Job",
+    "JobStore",
+    "MappingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "WorkerPool",
+    "execute_job",
+    "service_metrics",
+    "spec_from_payload",
+    "sweep_from_payload",
+    "worker_loop",
+]

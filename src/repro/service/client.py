@@ -1,0 +1,158 @@
+"""Python client of the mapping service's HTTP API (stdlib ``urllib``).
+
+The client is deliberately thin: every method is one HTTP round-trip, plus
+:meth:`ServiceClient.wait` which polls a job (or a whole submission) to a
+terminal status — the engine behind ``qspr-map submit --wait``.
+
+Example::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    submitted = client.submit({"circuit": "[[5,1,3]]", "placer": "center"})
+    job = client.wait(submitted["jobs"][0]["id"], timeout=120)
+    print(client.result(job["id"])["result"]["latency"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+from repro.runner.spec import ExperimentSpec, Sweep
+from repro.service.jobs import TERMINAL
+
+
+class ServiceError(ReproError):
+    """An API call failed; carries the HTTP status and the server message."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class ServiceClient:
+    """JSON-over-HTTP client of one mapping service.
+
+    Example::
+
+        >>> ServiceClient("http://127.0.0.1:8321/").url
+        'http://127.0.0.1:8321'
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw endpoints.
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, payload: "dict | ExperimentSpec | Sweep") -> dict:
+        """``POST /jobs``: a spec dict, a :class:`ExperimentSpec` or a sweep.
+
+        Returns the submission document: ``{"jobs": [...], "created": n,
+        "deduped": n}``.
+        """
+        if isinstance(payload, ExperimentSpec):
+            payload = {"spec": payload.to_dict()}
+        elif isinstance(payload, Sweep):
+            payload = {"sweep": payload.to_dict()}
+        return self._request("POST", "/jobs", body=payload)
+
+    def jobs(self, *, status: str | None = None, limit: int | None = None) -> list[dict]:
+        """``GET /jobs`` (optionally filtered by status, capped at ``limit``)."""
+        params = [
+            f"status={status}" if status else None,
+            f"limit={limit}" if limit is not None else None,
+        ]
+        query = "&".join(param for param in params if param)
+        return self._request("GET", f"/jobs{'?' + query if query else ''}")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """``GET /jobs/{id}/result`` (409 → :class:`ServiceError`)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /jobs/{id}/cancel``."""
+        return self._request("POST", f"/jobs/{job_id}/cancel", body={})
+
+    # ------------------------------------------------------------------
+    # Conveniences.
+
+    def wait(
+        self,
+        job_ids: "str | list[str]",
+        *,
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+    ) -> "dict | list[dict]":
+        """Poll until the job(s) reach a terminal status.
+
+        Args:
+            job_ids: One job id or a list of them.
+            timeout: Overall deadline in seconds.
+            poll_interval: Delay between polls of a still-active job.
+
+        Returns:
+            The terminal job document(s), in the order given.
+
+        Raises:
+            ServiceError: When the deadline expires first.
+        """
+        single = isinstance(job_ids, str)
+        remaining = [job_ids] if single else list(job_ids)
+        finished: dict[str, dict] = {}
+        deadline = time.monotonic() + timeout
+        while remaining:
+            job_id = remaining[0]
+            job = self.job(job_id)
+            if job["status"] in TERMINAL:
+                finished[job_id] = job
+                remaining.pop(0)
+                continue
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job {job_id} "
+                    f"(status: {job['status']})"
+                )
+            time.sleep(poll_interval)
+        ordered = [finished[job_id] for job_id in ([job_ids] if single else job_ids)]
+        return ordered[0] if single else ordered
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, *, body: dict | None = None) -> dict:
+        request = urllib.request.Request(
+            self.url + path,
+            method=method,
+            data=json.dumps(body).encode() if body is not None else None,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, OSError):
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach mapping service at {self.url}: {exc.reason}"
+            ) from exc

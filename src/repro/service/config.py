@@ -1,0 +1,61 @@
+"""Service configuration: one dataclass shared by store, pool, server and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of a mapping-service deployment.
+
+    Attributes:
+        host: Bind address of the HTTP API.
+        port: Bind port; ``0`` asks the OS for an ephemeral port (the bound
+            port is reported by :attr:`~repro.service.api.MappingService.url`).
+        db_path: SQLite file of the :class:`~repro.service.store.JobStore`.
+        cache_dir: Directory of the shared
+            :class:`~repro.runner.cache.ResultCache`; ``None`` disables
+            result-cache dedup (jobs still dedup against each other).
+        workers: Worker count of the :class:`~repro.service.worker.WorkerPool`;
+            ``0`` means one worker per CPU.
+        poll_interval: Seconds an idle worker sleeps between queue polls.
+        lease_seconds: How long a claimed job may run before it is considered
+            orphaned and eligible for requeue.
+        max_attempts: Claims a job may consume before a further orphan-requeue
+            marks it failed instead.
+        use_threads: Run workers as threads instead of processes (used by the
+            test suite and by restricted sandboxes; process startup failures
+            fall back to threads automatically either way).
+
+    Example::
+
+        >>> ServiceConfig().port
+        8321
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    db_path: str = "service-out/jobs.sqlite3"
+    cache_dir: str | None = "service-out/cache"
+    workers: int = 1
+    poll_interval: float = 0.2
+    lease_seconds: float = 300.0
+    max_attempts: int = 3
+    use_threads: bool = False
+
+    def under(self, directory: str | Path) -> "ServiceConfig":
+        """A copy with the store and cache relocated below ``directory``.
+
+        Example::
+
+            >>> ServiceConfig().under("/tmp/svc").db_path
+            '/tmp/svc/jobs.sqlite3'
+        """
+        base = Path(directory)
+        return replace(
+            self,
+            db_path=str(base / "jobs.sqlite3"),
+            cache_dir=str(base / "cache") if self.cache_dir is not None else None,
+        )

@@ -1,0 +1,60 @@
+"""Operational metrics of a running mapping service (``GET /metrics``).
+
+Everything is computed from the job store, so metrics survive restarts with
+the jobs themselves: queue depth and status counts come from one ``GROUP BY``,
+throughput from the ``finished_at`` column, and the per-stage time breakdown
+is aggregated from every done job's persisted
+:attr:`~repro.mapper.result.MappingResult.stage_seconds` — including the
+dotted ``simulate.routing`` / ``place.routing`` sub-keys that attribute
+pipeline time to the routing core.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING
+from repro.service.store import JobStore
+
+#: Window of the throughput gauge, in seconds.
+THROUGHPUT_WINDOW = 60.0
+
+
+def service_metrics(store: JobStore, *, now: float | None = None) -> dict:
+    """One JSON-ready snapshot of queue health and pipeline economics.
+
+    Keys:
+        ``jobs``: Job counts by status (plus ``total``).
+        ``queue_depth``: Convenience alias of ``jobs.queued``.
+        ``running``: Convenience alias of ``jobs.running``.
+        ``throughput_per_minute``: Jobs finished in the last minute.
+        ``executed_jobs`` / ``cache_served_jobs``: Done jobs that ran through
+            a worker vs. jobs answered straight from the result cache.
+        ``wall_seconds``: Summed and mean execution wall-clock of done jobs.
+        ``stage_seconds``: Per-stage totals aggregated over every done job
+            (``build-qidg``, ``place``, ``simulate``, ``simulate.routing``…).
+        ``routing_seconds``: Total time spent planning routes (from the flat
+            per-job results).
+        ``latency_us``: Summed mapped-circuit latency, for capacity math.
+    """
+    now = time.time() if now is None else now
+    counts = store.counts()
+    done = store.done_aggregates(now=now, window=THROUGHPUT_WINDOW)
+    wall_samples = done["wall_samples"]
+    return {
+        "jobs": {**counts, "total": sum(counts.values())},
+        "queue_depth": counts[QUEUED],
+        "running": counts[RUNNING],
+        "done": counts[DONE],
+        "failed": counts[FAILED],
+        "throughput_per_minute": done["finished_recently"],
+        "executed_jobs": done["finished"] - done["cache_served"],
+        "cache_served_jobs": done["cache_served"],
+        "wall_seconds": {
+            "total": done["wall_total"],
+            "mean": done["wall_total"] / wall_samples if wall_samples else 0.0,
+        },
+        "stage_seconds": done["stage_totals"],
+        "routing_seconds": done["routing_total"],
+        "latency_us": done["latency_total"],
+    }

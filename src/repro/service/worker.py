@@ -1,0 +1,274 @@
+"""Worker pool that drains the job store through the mapping pipeline.
+
+Each worker is a loop around :meth:`~repro.service.store.JobStore.claim` →
+:func:`~repro.runner.executor.map_spec` →
+:meth:`~repro.service.store.JobStore.complete`.  The loop body is a plain
+top-level function (:func:`worker_loop`), so the pool can run it either as
+``multiprocessing`` processes (the default — mapping is CPU-bound pure
+Python) or as threads (restricted sandboxes, tests); a platform that cannot
+start processes falls back to threads automatically, mirroring
+:func:`~repro.runner.executor.run_sweep`.
+
+Workers share compiled-routing fabrics: every job targeting the same
+:class:`~repro.runner.spec.FabricCell` reuses one built
+:class:`~repro.fabric.fabric.Fabric` per worker, so the routing-graph
+compilation cost (see :mod:`repro.routing.compiled`) is paid once per
+geometry per worker, not once per job.  Fabrics are immutable but their
+compiled scratch arrays are not thread-safe, which is exactly why the memo is
+*per worker* rather than global.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+
+from repro.fabric.fabric import Fabric
+from repro.runner.cache import ResultCache
+from repro.runner.executor import map_spec
+from repro.runner.results import CellResult
+from repro.runner.spec import ExperimentSpec, FabricCell
+from repro.service.config import ServiceConfig
+from repro.service.jobs import Job
+from repro.service.store import JobStore
+
+
+def execute_job(
+    spec: ExperimentSpec, fabrics: dict[FabricCell, Fabric] | None = None
+) -> tuple[CellResult, dict]:
+    """Run one job's spec; returns the flat result plus stage timings.
+
+    Args:
+        spec: The experiment cell to map.
+        fabrics: Per-worker fabric memo; jobs with the same
+            :class:`~repro.runner.spec.FabricCell` share one built fabric
+            (and therefore its memoised, compiled routing graph).
+
+    Example::
+
+        >>> from repro.runner import ExperimentSpec, FabricCell
+        >>> spec = ExperimentSpec("[[5,1,3]]", placer="center",
+        ...                       fabric=FabricCell(junction_rows=4, junction_cols=4))
+        >>> cell, stages = execute_job(spec, {})
+        >>> cell.latency > 0 and "simulate" in stages
+        True
+    """
+    fabric = None
+    if fabrics is not None:
+        fabric = fabrics.get(spec.fabric)
+        if fabric is None:
+            fabric = fabrics[spec.fabric] = spec.build_fabric()
+    result = map_spec(spec, fabric=fabric)
+    return CellResult.from_mapping(spec, result), dict(result.stage_seconds)
+
+
+def worker_loop(
+    db_path: str,
+    cache_dir: str | None,
+    worker_id: str,
+    *,
+    poll_interval: float = 0.2,
+    lease_seconds: float = 300.0,
+    max_attempts: int = 3,
+    stop_event: threading.Event | None = None,
+    max_jobs: int | None = None,
+) -> int:
+    """Claim-and-execute loop of one worker; returns jobs executed.
+
+    The loop exits when the store's shutdown flag is raised
+    (:meth:`~repro.service.store.JobStore.request_shutdown`), when
+    ``stop_event`` is set (thread mode), or after ``max_jobs`` jobs (tests).
+    A :class:`KeyboardInterrupt` mid-job releases the claimed job back to the
+    queue before re-raising, so Ctrl-C never strands work in ``running``.
+    """
+    cache = ResultCache(cache_dir) if cache_dir else None
+    store = JobStore(db_path, cache=cache, max_attempts=max_attempts)
+    fabrics: dict[FabricCell, Fabric] = {}
+    executed = 0
+    while max_jobs is None or executed < max_jobs:
+        if stop_event is not None and stop_event.is_set():
+            break
+        if store.shutdown_requested():
+            break
+        job = store.claim(worker_id, lease_seconds=lease_seconds)
+        if job is None:
+            time.sleep(poll_interval)
+            continue
+        try:
+            _run_claimed(store, cache, job, fabrics, worker_id)
+        except KeyboardInterrupt:
+            store.release(job.id)
+            raise
+        executed += 1
+    return executed
+
+
+def _run_claimed(
+    store: JobStore,
+    cache: ResultCache | None,
+    job: Job,
+    fabrics: dict[FabricCell, Fabric],
+    worker_id: str,
+) -> None:
+    try:
+        cell, stage_seconds = execute_job(job.spec, fabrics)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # a bad job must not kill the worker
+        store.fail(job.id, f"{type(exc).__name__}: {exc}", worker=worker_id)
+        return
+    if cache is not None:
+        cache.store(job.spec, cell)
+    store.complete(job.id, cell, stage_seconds=stage_seconds, worker=worker_id)
+
+
+class WorkerPool:
+    """N workers draining one job store.
+
+    Example::
+
+        >>> import tempfile
+        >>> from repro.service import ServiceConfig
+        >>> config = ServiceConfig(use_threads=True).under(tempfile.mkdtemp())
+        >>> pool = WorkerPool(config)
+        >>> pool.start()
+        >>> pool.alive_workers() >= 1
+        True
+        >>> pool.stop()
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.store = JobStore(
+            config.db_path,
+            cache=ResultCache(config.cache_dir) if config.cache_dir else None,
+            max_attempts=config.max_attempts,
+        )
+        self._workers: list = []
+        self._stop_event = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self.mode: str | None = None
+
+    @property
+    def supervision_interval(self) -> float:
+        """Seconds between supervisor passes (requeue orphans, respawn dead)."""
+        return max(0.05, min(self.config.lease_seconds / 4.0, 30.0))
+
+    @property
+    def size(self) -> int:
+        """Configured worker count (``0`` meaning one per CPU)."""
+        return self.config.workers if self.config.workers > 0 else (os.cpu_count() or 1)
+
+    def start(self) -> None:
+        """Recover orphans, clear the shutdown flag and launch the workers.
+
+        A supervisor thread then keeps the pool healthy for the life of the
+        service: every :attr:`supervision_interval` it requeues jobs whose
+        lease expired (their worker died mid-run) and respawns dead workers.
+        """
+        self.store.clear_shutdown()
+        self.store.requeue_orphans()
+        self._stop_event.clear()
+        if self.config.use_threads:
+            self.mode = "thread"
+        else:
+            try:
+                import multiprocessing
+
+                multiprocessing.get_context().Process  # probe availability
+                self.mode = "process"
+            except (ImportError, OSError) as exc:  # pragma: no cover - platform
+                warnings.warn(
+                    f"worker processes unavailable ({exc}); falling back to threads",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.mode = "thread"
+        self._workers = []
+        try:
+            for index in range(self.size):
+                self._workers.append(self._spawn(index))
+        except (OSError, PermissionError) as exc:
+            warnings.warn(
+                f"worker processes unavailable ({exc}); falling back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for worker in self._workers:  # reap the partial process fleet
+                if hasattr(worker, "terminate"):
+                    worker.terminate()
+                    worker.join(1.0)
+            self.mode = "thread"
+            self._workers = [self._spawn(index) for index in range(self.size)]
+        self._supervisor = threading.Thread(target=self._supervise, daemon=True)
+        self._supervisor.start()
+
+    def _loop_kwargs(self) -> dict:
+        return {
+            "poll_interval": self.config.poll_interval,
+            "lease_seconds": self.config.lease_seconds,
+            "max_attempts": self.config.max_attempts,
+        }
+
+    def _spawn(self, index: int):
+        """Start (or restart) worker ``index`` in the pool's mode."""
+        if self.mode == "process":
+            import multiprocessing
+
+            process = multiprocessing.get_context().Process(
+                target=worker_loop,
+                args=(self.config.db_path, self.config.cache_dir, f"proc-{index}"),
+                kwargs=self._loop_kwargs(),
+                daemon=True,
+            )
+            process.start()
+            return process
+        thread = threading.Thread(
+            target=worker_loop,
+            args=(self.config.db_path, self.config.cache_dir, f"thread-{index}"),
+            kwargs={**self._loop_kwargs(), "stop_event": self._stop_event},
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _supervise(self) -> None:
+        """Requeue orphans and respawn dead workers until the pool stops."""
+        while not self._stop_event.wait(self.supervision_interval):
+            try:
+                self.store.requeue_orphans()
+                for index, worker in enumerate(self._workers):
+                    if not worker.is_alive() and not self._stop_event.is_set():
+                        self._workers[index] = self._spawn(index)
+            except Exception:  # pragma: no cover - supervision must survive
+                pass
+
+    def alive_workers(self) -> int:
+        """How many workers are currently alive."""
+        return sum(1 for worker in self._workers if worker.is_alive())
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Graceful shutdown: finish in-flight jobs, then recover stragglers.
+
+        Raises the store's shutdown flag (and the thread stop event), joins
+        every worker, and requeues any job a non-cooperating worker left in
+        ``running`` so no work is stranded.
+        """
+        self.store.request_shutdown()
+        self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout)
+            self._supervisor = None
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            worker.join(max(0.1, deadline - time.monotonic()))
+        for worker in self._workers:
+            if worker.is_alive() and hasattr(worker, "terminate"):
+                worker.terminate()
+                worker.join(1.0)
+        self._workers = []
+        # Anything still 'running' belonged to a worker we just reaped: jump
+        # past every lease that could have been granted before this call.
+        self.store.requeue_orphans(now=time.time() + self.config.lease_seconds + 1.0)

@@ -69,3 +69,40 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
         assert cache.clear() == 0
+
+
+class TestCacheInfoAndPrune:
+    def test_info_on_missing_directory(self, tmp_path):
+        info = ResultCache(tmp_path / "absent").info()
+        assert info.entries == 0 and info.total_bytes == 0
+
+    def test_info_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_spec(), _result())
+        cache.store(_spec(num_seeds=3), _result())
+        info = cache.info()
+        assert info.entries == 2
+        assert info.total_bytes > 0
+        assert info.schema_version >= 2
+        assert info.oldest_age_days >= info.newest_age_days >= 0.0
+        assert str(tmp_path / "cache") in info.describe()
+
+    def test_prune_by_age_removes_only_old_records(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_spec(), _result())
+        cache.store(_spec(num_seeds=3), _result())
+        old, fresh = sorted((tmp_path / "cache").glob("*.json"))
+        two_months_ago = fresh.stat().st_mtime - 60 * 86400
+        os.utime(old, (two_months_ago, two_months_ago))
+
+        assert cache.prune(max_age_days=30) == 1
+        assert [p.name for p in (tmp_path / "cache").glob("*.json")] == [fresh.name]
+        assert cache.info().oldest_age_days < 30
+
+    def test_prune_without_age_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store(_spec(), _result())
+        assert cache.prune() == 1
+        assert len(cache) == 0

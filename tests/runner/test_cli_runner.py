@@ -72,6 +72,27 @@ class TestReportCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestCacheCommand:
+    def test_info_and_prune_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(_SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        cache_dir = str(out / "cache")
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        info = capsys.readouterr().out
+        assert "entries         : 6" in info and "schema version" in info
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--max-age-days", "30"]) == 0
+        assert "pruned 0 cache records" in capsys.readouterr().out
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 0
+        pruned = capsys.readouterr().out
+        assert "pruned 6 cache records (all)" in pruned
+        assert "entries         : 0" in pruned
+
+
 class TestTopLevel:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

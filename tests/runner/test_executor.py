@@ -106,6 +106,41 @@ class TestRunSweep:
         run_sweep([spec], cache=cache, progress=lambda i, t, r: seen.append(r.from_cache))
         assert seen == [True]
 
+    def test_keyboard_interrupt_keeps_partial_results(self):
+        specs = [
+            ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY),
+            ExperimentSpec("[[5,1,3]]", placer="center", fabric=TINY),
+            ExperimentSpec("[[7,1,3]]", placer="center", fabric=TINY),
+        ]
+
+        def interrupt_after_first(index, total, result):
+            if index == 0:
+                raise KeyboardInterrupt
+
+        with pytest.warns(RuntimeWarning, match="interrupted"):
+            run = run_sweep(specs, progress=interrupt_after_first)
+        assert run.interrupted
+        assert len(run.results) == 1 and run.missing == 2
+        assert run.executed == 1
+        assert run.results[0].config_label == "ideal"
+        assert "interrupted" in run.summary()
+
+    def test_interrupted_run_still_caches_completed_cells(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [
+            ExperimentSpec("[[5,1,3]]", mapper="ideal", fabric=TINY),
+            ExperimentSpec("[[5,1,3]]", placer="center", fabric=TINY),
+        ]
+
+        def interrupt_after_first(index, total, result):
+            raise KeyboardInterrupt
+
+        with pytest.warns(RuntimeWarning, match="interrupted"):
+            run_sweep(specs, cache=cache, progress=interrupt_after_first)
+        # The completed first cell was cached before the interrupt landed.
+        resumed = run_sweep(specs, cache=cache)
+        assert resumed.cached == 1 and resumed.executed == 1
+
     def test_worker_error_propagates(self, tmp_path):
         missing = ExperimentSpec(str(tmp_path / "nope.qasm"), fabric=TINY)
         with pytest.raises(Exception):

@@ -113,6 +113,31 @@ class TestSweep:
         with pytest.raises(MappingError):
             Sweep(circuits=())
 
+    def test_dict_roundtrip(self):
+        sweep = Sweep(
+            circuits=("[[5,1,3]]",), mappers=("qspr", "ideal"),
+            num_seeds=(2, 5), fabrics=(TINY,),
+        )
+        assert Sweep.from_dict(sweep.to_dict()) == sweep
+
+    def test_from_dict_accepts_comma_axes(self):
+        sweep = Sweep.from_dict(
+            {"circuits": "[[5,1,3]],[[7,1,3]]", "mappers": "qspr, quale",
+             "num_seeds": "12", "random_seeds": "0,1"}
+        )
+        assert sweep.circuits == ("[[5,1,3]]", "[[7,1,3]]")
+        assert sweep.mappers == ("qspr", "quale")
+        # A multi-digit string is one seed count, not one per character.
+        assert sweep.num_seeds == (12,)
+        assert sweep.random_seeds == (0, 1)
+
+    def test_from_dict_accepts_scalar_seed_axis(self):
+        assert Sweep.from_dict({"circuits": "ghz", "num_seeds": 4}).num_seeds == (4,)
+
+    def test_from_dict_rejects_unknown_axes(self):
+        with pytest.raises(MappingError, match="unknown sweep axes"):
+            Sweep.from_dict({"circuits": "ghz", "frobnicators": "yes"})
+
 
 class TestParseAxis:
     def test_plain_commas(self):
