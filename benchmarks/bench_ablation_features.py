@@ -9,7 +9,10 @@ The paper attributes QSPR's gains to three mechanisms:
 
 This benchmark disables each mechanism in isolation, maps two benchmark
 circuits with every variant and prints the latency deltas, which quantifies
-how much each mechanism contributes on our reconstructed fabric.
+how much each mechanism contributes on our reconstructed fabric.  Two
+scenario-engine variants ride along (see ``docs/SCENARIOS.md``): swapping
+the scheduler registry entry for QPOS's dependent-count policy, and the
+registered ``fast-turn`` technology (turns as cheap as moves).
 """
 
 from __future__ import annotations
@@ -38,6 +41,8 @@ _VARIANTS: dict[str, dict] = {
     "center placement (no MVFB)": {"placer": "center"},
     "turn-oblivious routing": {"turn_aware_routing": False},
     "single-operand movement": {"meeting_point": MeetingPoint.DESTINATION},
+    "QPOS scheduler (dependent count)": {"scheduler": "qpos-dependents"},
+    "fast-turn technology": {"technology": "fast-turn"},
 }
 
 _ROWS: dict[tuple, tuple] = {}

@@ -1,0 +1,47 @@
+"""Reproduce a Section-V style ablation table with one scenario sweep.
+
+Run with::
+
+    python examples/scenario_ablation.py [--circuit "[[5,1,3]]"]
+
+One :class:`~repro.runner.spec.Sweep` crosses two technologies (the paper
+PMD and the capacity-1 ``cap-1`` variant) with two scheduling policies and
+the turn-aware routing toggle — eight scenario cells per circuit — and the
+latency table comes out with one labelled column per scenario, exactly the
+shape of the paper's ablation tables.  See ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuits.qecc import BENCHMARK_NAMES
+from repro.runner import FabricCell, Sweep, latency_table, run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--circuit",
+        default="[[5,1,3]]",
+        choices=list(BENCHMARK_NAMES),
+        help="benchmark circuit (default: [[5,1,3]])",
+    )
+    args = parser.parse_args()
+
+    sweep = Sweep(
+        circuits=(args.circuit,),
+        placers=("center",),  # deterministic placement keeps the run quick
+        fabrics=(FabricCell(junction_rows=6, junction_cols=6),),
+        technologies=("paper", "cap-1"),
+        schedulers=("qspr", "qpos-dependents"),
+        turn_aware=(True, False),
+    )
+    print(f"expanding {sweep.size} scenario cells ...")
+    run = run_sweep(sweep)
+    print(latency_table(run.results, title=f"Scenario ablation of {args.circuit} (us)"))
+    print(run.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,12 @@ Two sweeps are performed on one benchmark circuit:
    that growth turn-aware routing avoids.
 2. *Channel capacity* — multiplexing ions in channels (capacity 2) is one of
    QSPR's claimed advantages; the sweep compares capacities 1, 2 and 3.
+
+This example constructs :class:`~repro.technology.TechnologyParams`
+directly; to run the same comparisons declaratively (named technologies in
+the ``TECHNOLOGIES`` registry, crossed with schedulers and routing features
+in one ``Sweep``), see ``docs/SCENARIOS.md`` and
+``examples/scenario_ablation.py``.
 """
 
 from __future__ import annotations

@@ -74,6 +74,7 @@ from repro.mapper import (
     QualeMapper,
 )
 from repro.placement import CenterPlacer, MonteCarloPlacer, MvfbPlacer, Placement
+from repro.scheduling import SchedulingPolicy
 from repro.runner import (
     CellResult,
     ExperimentSpec,
@@ -89,6 +90,8 @@ from repro.pipeline import (
     MAPPERS,
     PLACERS,
     REGISTRIES,
+    SCHEDULERS,
+    TECHNOLOGIES,
     MappingPipeline,
     PipelineContext,
     PipelineObserver,
@@ -96,6 +99,8 @@ from repro.pipeline import (
     Registry,
     RegistryError,
     map_circuit,
+    resolve_scheduler,
+    resolve_technology,
 )
 
 __all__ = [
@@ -150,11 +155,16 @@ __all__ = [
     "PLACERS",
     "FABRICS",
     "CIRCUITS",
+    "SCHEDULERS",
+    "TECHNOLOGIES",
     "REGISTRIES",
     "MappingPipeline",
     "PipelineContext",
     "PipelineObserver",
     "PlacementOutcome",
+    "SchedulingPolicy",
+    "resolve_scheduler",
+    "resolve_technology",
 ]
 
 __version__ = "1.0.0"

@@ -17,7 +17,8 @@ service workflows:
   circuits, measure the compiled-core speedup against the pre-refactor core
   and write ``BENCH_perf.json`` (see ``docs/PERFORMANCE.md``).
 * ``qspr-map list`` — enumerate every plugin registered in the mapper,
-  placer, fabric and circuit registries (built-ins and third-party).
+  placer, fabric, circuit, scheduler and technology registries (built-ins
+  and third-party).
 * ``qspr-map serve`` — run the mapping service: a persistent SQLite job
   store, a worker pool and the HTTP JSON API (see ``docs/SERVICE.md``).
 * ``qspr-map submit`` / ``status`` / ``jobs`` / ``cancel`` — the service
@@ -26,17 +27,22 @@ service workflows:
 * ``qspr-map cache`` — inspect (``info``) or age-out (``prune``) the on-disk
   result cache shared by sweeps and the service.
 
-Every mapper, placer, fabric and circuit name on the command line is
-resolved through the :mod:`repro.pipeline` registries, so plugins imported
-before the CLI builds its parser are selectable like built-ins.
+Every mapper, placer, fabric, circuit, scheduler and technology name on the
+command line is resolved through the :mod:`repro.pipeline` registries, so
+plugins imported before the CLI builds its parser are selectable like
+built-ins.
 
 Examples::
 
     qspr-map --benchmark "[[5,1,3]]"
     qspr-map run circuit.qasm --mapper quale --fabric-rows 12 --fabric-cols 22
     qspr-map run --benchmark ghz --fabric small --placer center
+    qspr-map run --benchmark ghz --technology fast-turn --scheduler quale-alap
     qspr-map sweep --benchmarks "[[5,1,3]],[[7,1,3]]" --mappers qspr,quale \\
         --placers mvfb,monte-carlo --out sweep-out --jobs 4
+    qspr-map sweep --benchmarks "[[5,1,3]]" --placers center \\
+        --technologies paper,cap-1 --schedulers qspr,qpos-dependents \\
+        --turn-aware 1,0 --barriers 0,1
     qspr-map report sweep-out/results.json
     qspr-map bench --quick --out BENCH_perf.json
     qspr-map list --registry placers
@@ -67,8 +73,13 @@ from repro.pipeline import (
     resolve_circuit,
     resolve_fabric,
     resolve_mapper,
+    resolve_technology,
 )
+from repro.routing.router import MeetingPoint
 from repro.runner import (
+    MEETING_POINTS,
+    SCHEDULER_NAMES,
+    TECHNOLOGY_NAMES,
     ExperimentSpec,
     FabricCell,
     ResultCache,
@@ -91,6 +102,44 @@ _COMMANDS = (
 
 #: Default URL of the service client subcommands.
 _DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """Single-value scenario flags of ``qspr-map run``."""
+    parser.add_argument(
+        "--technology",
+        default="paper",
+        help="registered technology (PMD) name, e.g. "
+        f"{', '.join(TECHNOLOGY_NAMES)} (default: paper)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="qspr",
+        help="registered scheduling policy, e.g. "
+        f"{', '.join(SCHEDULER_NAMES)} (default: qspr)",
+    )
+    parser.add_argument(
+        "--no-turn-aware",
+        action="store_true",
+        help="ignore turn delays during path selection (prior-tool routing)",
+    )
+    parser.add_argument(
+        "--meeting-point",
+        choices=list(MEETING_POINTS),
+        default="median",
+        help="meeting-trap rule for two-qubit gates (default: median)",
+    )
+    parser.add_argument(
+        "--channel-capacity",
+        type=int,
+        default=None,
+        help="channel-capacity override (default: the technology's value)",
+    )
+    parser.add_argument(
+        "--barriers",
+        action="store_true",
+        help="schedule level-by-level (ALAP) before mapping, as prior tools do",
+    )
 
 
 def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
@@ -139,6 +188,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="registered fabric name (e.g. quale, small, linear) or a "
         "geometry label like 4x4c3; overrides the --fabric-* flags",
     )
+    _add_scenario_arguments(parser)
     _add_fabric_arguments(parser)
     parser.add_argument("--show-trace", action="store_true", help="print a per-qubit Gantt chart")
 
@@ -178,23 +228,72 @@ def _add_sweep_axis_arguments(
     parser.add_argument(
         "--random-seeds", default="0", help="comma-separated random seeds (default: 0)"
     )
+    parser.add_argument(
+        "--technologies",
+        default="paper",
+        help="comma-separated registered technologies (PMDs), e.g. "
+        f"{', '.join(TECHNOLOGY_NAMES)} (default: paper)",
+    )
+    parser.add_argument(
+        "--schedulers",
+        default="qspr",
+        help="comma-separated registered scheduling policies, e.g. "
+        f"{', '.join(SCHEDULER_NAMES)} (default: qspr)",
+    )
+    parser.add_argument(
+        "--turn-aware",
+        default="1",
+        help='comma-separated booleans, e.g. "1,0" to ablate turn-aware '
+        "routing (default: 1)",
+    )
+    parser.add_argument(
+        "--meeting-points",
+        default="median",
+        help="comma-separated meeting-trap rules from "
+        f"{', '.join(MEETING_POINTS)} (default: median)",
+    )
+    parser.add_argument(
+        "--channel-capacities",
+        default="default",
+        help='comma-separated capacities; "default" uses the technology\'s '
+        'value (default: "default")',
+    )
+    parser.add_argument(
+        "--barriers",
+        default="0",
+        help='comma-separated booleans, e.g. "0,1" to ablate barrier '
+        "(level-by-level) scheduling (default: 0)",
+    )
     _add_fabric_arguments(parser)
 
 
 def _sweep_from_args(args: argparse.Namespace) -> Sweep:
-    """Build the declarative grid from parsed axis/fabric flags."""
+    """Build the declarative grid from parsed axis/fabric flags.
+
+    Routed through :meth:`Sweep.from_dict`, so the CLI axes and the service
+    payload axes share one parser (including the boolean and capacity
+    spellings).
+    """
     fabric = FabricCell(
         junction_rows=args.fabric_rows,
         junction_cols=args.fabric_cols,
         channel_length=args.channel_length,
     )
-    return Sweep(
-        circuits=parse_axis(args.benchmarks),
-        mappers=parse_axis(args.mappers),
-        placers=parse_axis(args.placers),
-        num_seeds=_int_axis(args.seeds, "--seeds"),
-        random_seeds=_int_axis(args.random_seeds, "--random-seeds"),
-        fabrics=(fabric,),
+    return Sweep.from_dict(
+        {
+            "circuits": args.benchmarks,
+            "mappers": args.mappers,
+            "placers": args.placers,
+            "num_seeds": _int_axis(args.seeds, "--seeds"),
+            "random_seeds": _int_axis(args.random_seeds, "--random-seeds"),
+            "fabrics": (fabric,),
+            "technologies": args.technologies,
+            "schedulers": args.schedulers,
+            "turn_aware": args.turn_aware,
+            "meeting_points": args.meeting_points,
+            "channel_capacities": args.channel_capacities,
+            "barriers": args.barriers,
+        }
     )
 
 
@@ -416,6 +515,12 @@ def _build_fabric(args: argparse.Namespace):
 
 def _build_mapper(args: argparse.Namespace):
     options = MapperOptions(
+        technology=resolve_technology(args.technology),
+        scheduler=args.scheduler,
+        turn_aware_routing=not args.no_turn_aware,
+        meeting_point=MeetingPoint(args.meeting_point),
+        channel_capacity=args.channel_capacity,
+        barrier_scheduling=args.barriers,
         placer=args.placer,
         num_seeds=args.seeds,
         num_placements=args.placements,
@@ -546,10 +651,20 @@ def _client(args: argparse.Namespace):
 
 
 def _print_job_line(job: dict) -> None:
+    from repro.runner import scenario_suffix
+
     spec = job.get("spec", {})
     label = f"{spec.get('mapper', '?')}"
     if spec.get("placer"):
         label += f"/{spec['placer']}"
+    label += scenario_suffix(
+        technology=spec.get("technology", "paper"),
+        scheduler=spec.get("scheduler", "qspr"),
+        turn_aware=spec.get("turn_aware", True),
+        meeting_point=spec.get("meeting_point", "median"),
+        channel_capacity=spec.get("channel_capacity"),
+        barrier_scheduling=spec.get("barrier_scheduling", False),
+    )
     line = f"{job['id']}  {job['status']:<9}  {spec.get('circuit', '?'):<12} {label}"
     if job.get("error"):
         line += f"  error: {job['error']}"

@@ -14,6 +14,7 @@ from enum import Enum
 
 from repro.errors import MappingError
 from repro.routing.router import MeetingPoint, RoutingPolicy
+from repro.scheduling.policies import SchedulingPolicy
 from repro.scheduling.priority import PriorityPolicy
 from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
 
@@ -39,7 +40,13 @@ class MapperOptions:
 
     Attributes:
         technology: Physical machine description (delays, capacities).
-        priority_policy: Scheduling priority function.
+        priority_policy: Scheduling policy selector — a
+            :class:`~repro.scheduling.policies.SchedulingPolicy`, a registry
+            name from :data:`repro.pipeline.SCHEDULERS` or a legacy
+            :class:`PriorityPolicy` member.
+        scheduler: Alias of ``priority_policy`` under its canonical name
+            (what specs, sweeps and the CLI call it); takes precedence over
+            ``priority_policy`` when both are given.
         barrier_scheduling: Schedule level-by-level (ALAP) before mapping, as
             the prior tools do, instead of interleaving scheduling with
             routing (QSPR).  Instructions of a level only issue after every
@@ -65,10 +72,17 @@ class MapperOptions:
             selects the pre-refactor object-based core; results are
             identical, only speed differs.  Kept selectable for differential
             tests and the performance benchmarks.
+        busy_wake_sets: Retry parked (busy-queue) instructions only when one
+            of the channels that blocked them is released, instead of
+            re-planning the whole queue on every channel-exit event.
+            Results are identical; only futile router calls (and therefore
+            the routing-core counters) drop.  Off by default to keep
+            default-scenario reports byte-stable.
     """
 
     technology: TechnologyParams = PAPER_TECHNOLOGY
-    priority_policy: PriorityPolicy = PriorityPolicy.QSPR
+    priority_policy: PriorityPolicy | SchedulingPolicy | str = PriorityPolicy.QSPR
+    scheduler: SchedulingPolicy | PriorityPolicy | str | None = None
     barrier_scheduling: bool = False
     turn_aware_routing: bool = True
     meeting_point: MeetingPoint = MeetingPoint.MEDIAN
@@ -81,6 +95,7 @@ class MapperOptions:
     mvfb_max_runs_per_seed: int = 40
     random_seed: int = 0
     compiled_routing: bool = True
+    busy_wake_sets: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.placer, PlacerKind) and (
@@ -102,6 +117,39 @@ class MapperOptions:
     def placer_name(self) -> str:
         """The placer's registry name (the key into ``repro.pipeline.PLACERS``)."""
         return self.placer.value if isinstance(self.placer, PlacerKind) else self.placer
+
+    @property
+    def scheduler_selector(self) -> "SchedulingPolicy | PriorityPolicy | str":
+        """The effective scheduler choice (``scheduler`` wins over the alias)."""
+        return self.scheduler if self.scheduler is not None else self.priority_policy
+
+    @property
+    def scheduler_name(self) -> str:
+        """Registry name of the selected scheduling policy.
+
+        This is what reports print and what the scheduler axis of specs and
+        sweeps carries; the legacy enum's values equal the registry names, so
+        both selector styles label identically.
+        """
+        selector = self.scheduler_selector
+        if isinstance(selector, PriorityPolicy):
+            return selector.value
+        if isinstance(selector, SchedulingPolicy):
+            return selector.name
+        return selector
+
+    def scheduling_policy(self) -> SchedulingPolicy:
+        """The resolved :class:`SchedulingPolicy` strategy object.
+
+        Raises:
+            MappingError: On an unknown scheduler registry name.
+        """
+        # Imported lazily: repro.pipeline's import chain reaches this module
+        # through the built-in mappers, so a module-level import would be
+        # circular.
+        from repro.pipeline.schedulers import resolve_scheduler
+
+        return resolve_scheduler(self.scheduler_selector, error=MappingError)
 
     @property
     def effective_channel_capacity(self) -> int:
@@ -131,7 +179,7 @@ class MapperOptions:
         Monte-Carlo placer — the placement-run budget ``m'``.
         """
         text = (
-            f"placer={self.placer_name} priority={self.priority_policy.value} "
+            f"placer={self.placer_name} priority={self.scheduler_name} "
             f"barriers={self.barrier_scheduling} turn_aware={self.turn_aware_routing} "
             f"meeting={self.meeting_point.value} "
             f"capacity={self.effective_channel_capacity} "
@@ -141,4 +189,6 @@ class MapperOptions:
             text += f" m'={self.num_placements}"
         if not self.compiled_routing:
             text += " core=legacy"
+        if self.busy_wake_sets:
+            text += " wake_sets=True"
         return text

@@ -5,10 +5,11 @@ This subpackage is the canonical public API of the reproduction.  It exposes
 * :class:`Registry` (:mod:`repro.pipeline.registry`) — the generic
   string-keyed plugin table with decorator registration and did-you-mean
   lookup errors;
-* four populated registries — :data:`MAPPERS`, :data:`PLACERS`,
-  :data:`FABRICS` and :data:`CIRCUITS` — through which every name in the
-  system (CLI flags, :class:`~repro.runner.spec.ExperimentSpec` axes, facade
-  arguments) is resolved;
+* six populated registries — :data:`MAPPERS`, :data:`PLACERS`,
+  :data:`FABRICS`, :data:`CIRCUITS`, :data:`SCHEDULERS` and
+  :data:`TECHNOLOGIES` — through which every name in the system (CLI flags,
+  :class:`~repro.runner.spec.ExperimentSpec` axes, facade arguments) is
+  resolved;
 * :class:`MappingPipeline` (:mod:`repro.pipeline.stages`) — the staged
   build-QIDG → place → simulate → package-result engine behind every mapper,
   with per-stage timings and :class:`PipelineObserver` hooks;
@@ -38,14 +39,18 @@ from repro.pipeline.stages import STANDARD_STAGES, MappingPipeline, Stage
 from repro.pipeline.fabrics import FABRICS, resolve_fabric
 from repro.pipeline.circuits import CIRCUITS, resolve_circuit
 from repro.pipeline.mappers import IdealMapper, MAPPERS, resolve_mapper
+from repro.pipeline.schedulers import SCHEDULERS, resolve_scheduler
+from repro.pipeline.technologies import TECHNOLOGIES, resolve_technology
 from repro.pipeline.facade import map_circuit
 
-#: The four plugin registries, keyed by their CLI listing name.
+#: The six plugin registries, keyed by their CLI listing name.
 REGISTRIES: dict[str, Registry] = {
     "mappers": MAPPERS,
     "placers": PLACERS,
     "fabrics": FABRICS,
     "circuits": CIRCUITS,
+    "schedulers": SCHEDULERS,
+    "technologies": TECHNOLOGIES,
 }
 
 __all__ = [
@@ -61,10 +66,14 @@ __all__ = [
     "REGISTRIES",
     "Registry",
     "RegistryError",
+    "SCHEDULERS",
     "STANDARD_STAGES",
     "Stage",
+    "TECHNOLOGIES",
     "map_circuit",
     "resolve_circuit",
     "resolve_fabric",
     "resolve_mapper",
+    "resolve_scheduler",
+    "resolve_technology",
 ]

@@ -177,11 +177,12 @@ class PipelineContext:
             self.fabric,
             options.technology,
             routing_policy=options.routing_policy(),
-            priority_policy=options.priority_policy,
+            scheduler=options.scheduling_policy(),
             forced_order=forced_order,
             qidg=qidg if qidg is not None else self.qidg,
             barrier_scheduling=options.barrier_scheduling and forced_order is None,
             compiled_routing=options.compiled_routing,
+            busy_wake_sets=options.busy_wake_sets,
         )
 
     def simulate(self, placement: Placement) -> SimulationOutcome:

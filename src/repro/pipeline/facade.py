@@ -25,6 +25,7 @@ from repro.pipeline.circuits import resolve_circuit
 from repro.pipeline.context import PipelineObserver
 from repro.pipeline.fabrics import resolve_fabric
 from repro.pipeline.mappers import resolve_mapper
+from repro.pipeline.technologies import resolve_technology
 
 
 def map_circuit(
@@ -53,7 +54,10 @@ def map_circuit(
             receiving per-stage callbacks (passed through to mappers whose
             ``map`` accepts one, i.e. the pipeline-backed mappers).
         options: Extra :class:`~repro.mapper.options.MapperOptions` fields,
-            e.g. ``num_seeds=5``, ``num_placements=10``, ``random_seed=7``.
+            e.g. ``num_seeds=5``, ``num_placements=10``, ``random_seed=7``,
+            ``scheduler="quale-alap"``.  ``technology`` accepts a
+            :class:`~repro.technology.TechnologyParams`, a technology-registry
+            name (``"fast-turn"``) or a custom-PMD parameter dict.
 
     Returns:
         The :class:`~repro.mapper.result.MappingResult` of the run.
@@ -71,6 +75,8 @@ def map_circuit(
     """
     live_circuit = resolve_circuit(circuit)
     live_fabric = resolve_fabric(fabric)
+    if "technology" in options:
+        options["technology"] = resolve_technology(options["technology"])
     try:
         # An explicit placer inside **options (e.g. an ablation override
         # dict) wins over the positional default.

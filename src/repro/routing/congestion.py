@@ -81,6 +81,19 @@ class CongestionTracker:
         """A copy of the current occupancy map (non-zero entries only)."""
         return {channel: count for channel, count in self._occupancy.items() if count}
 
+    def full_channels(self) -> list[ChannelId]:
+        """Channels with no residual capacity (the scheduler's wake-set keys).
+
+        A ready instruction that cannot be routed is blocked by (a subset of)
+        these channels; the busy queue parks it on them and only a release of
+        one of them makes a retry worthwhile.
+        """
+        return [
+            channel
+            for channel, count in self._occupancy.items()
+            if count >= self.channel_capacity
+        ]
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

@@ -45,15 +45,20 @@ from repro.runner.bench import (
 from repro.runner.cache import CacheInfo, ResultCache
 from repro.runner.executor import SweepRun, execute_cell, map_spec, run_sweep
 from repro.runner.report import cell_table, latency_table, read_json, write_csv, write_json
-from repro.runner.results import CellResult
+from repro.runner.results import CellResult, scenario_suffix
 from repro.runner.spec import (
     CACHE_SCHEMA,
     MAPPER_NAMES,
+    MEETING_POINTS,
     PLACER_NAMES,
+    SCHEDULER_NAMES,
+    TECHNOLOGY_NAMES,
     ExperimentSpec,
     FabricCell,
     Sweep,
     parse_axis,
+    parse_bool_axis,
+    parse_capacity_axis,
 )
 
 __all__ = [
@@ -62,7 +67,10 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheInfo",
     "MAPPER_NAMES",
+    "MEETING_POINTS",
     "PLACER_NAMES",
+    "SCHEDULER_NAMES",
+    "TECHNOLOGY_NAMES",
     "CellResult",
     "ExperimentSpec",
     "FabricCell",
@@ -76,9 +84,12 @@ __all__ = [
     "map_spec",
     "measure_speedup",
     "parse_axis",
+    "parse_bool_axis",
+    "parse_capacity_axis",
     "read_json",
     "run_perf_suite",
     "run_sweep",
+    "scenario_suffix",
     "write_csv",
     "write_json",
 ]

@@ -30,6 +30,7 @@ from repro.mapper.result import MappingResult
 from repro.pipeline.circuits import resolve_circuit
 from repro.pipeline.fabrics import resolve_fabric
 from repro.pipeline.stages import MappingPipeline
+from repro.pipeline.technologies import resolve_technology
 
 #: Identifier of the report layout, bumped on incompatible changes.
 BENCH_SCHEMA = "qspr-perf-bench/1"
@@ -48,22 +49,45 @@ class BenchCase:
         placer: Placer evaluated by the pipeline.  ``center`` keeps a single
             deterministic placement run, so the timing isolates the
             place-route-simulate hot path rather than a placement search.
+        technology: Registered technology (PMD) name the case runs under.
+        scheduler: Registered scheduling-policy name.
     """
 
     circuit: str
     fabric: str = "quale"
     placer: str = "center"
+    technology: str = "paper"
+    scheduler: str = "qspr"
+
+    @property
+    def label(self) -> str:
+        """Scenario-qualified case label used in reports and CI assertions."""
+        label = self.circuit
+        if self.technology != "paper":
+            label += f"@{self.technology}"
+        if self.scheduler != "qspr":
+            label += f"+{self.scheduler}"
+        return label
 
 
-#: Cases timed by ``qspr-map bench --quick`` (CI smoke; a few seconds).
+#: Cases timed by ``qspr-map bench --quick`` (CI smoke; a few seconds).  The
+#: non-paper case keeps the scenario machinery (technology/scheduler plugins
+#: threaded through the pipeline) on the perf-tracked path.
 QUICK_CASES: tuple[BenchCase, ...] = (
     BenchCase("[[5,1,3]]"),
     BenchCase("[[7,1,3]]"),
     BenchCase("[[9,1,3]]"),
+    BenchCase("[[9,1,3]]", technology="cap-1", scheduler="qpos-dependents"),
 )
 
-#: Cases timed by the full suite: every bundled QECC benchmark.
-FULL_CASES: tuple[BenchCase, ...] = tuple(BenchCase(name) for name in BENCHMARK_NAMES)
+#: Cases timed by the full suite: every bundled QECC benchmark, plus scenario
+#: probes on the mid-size circuit (alternative PMD and scheduler).
+FULL_CASES: tuple[BenchCase, ...] = tuple(
+    BenchCase(name) for name in BENCHMARK_NAMES
+) + (
+    BenchCase("[[19,1,7]]", technology="cap-1", scheduler="qpos-dependents"),
+    BenchCase("[[19,1,7]]", technology="fast-turn", scheduler="quale-alap"),
+)
 
 #: Circuits the legacy-vs-compiled speedup is measured on.
 QUICK_SPEEDUP_CIRCUITS: tuple[str, ...] = ("[[9,1,3]]",)
@@ -85,11 +109,22 @@ def _leg_fabric(fabric_name: str, *, compiled_routing: bool):
 
 
 def _run_pipeline(
-    circuit_name: str, fabric, placer: str, *, compiled_routing: bool
+    circuit_name: str,
+    fabric,
+    placer: str,
+    *,
+    compiled_routing: bool,
+    technology: str = "paper",
+    scheduler: str = "qspr",
 ) -> tuple[MappingResult, float]:
     """One timed pipeline run; returns the result and its wall-clock seconds."""
     circuit = resolve_circuit(circuit_name)
-    options = MapperOptions(placer=placer, compiled_routing=compiled_routing)
+    options = MapperOptions(
+        technology=resolve_technology(technology),
+        scheduler=scheduler,
+        placer=placer,
+        compiled_routing=compiled_routing,
+    )
     started = time.perf_counter()
     result = MappingPipeline.standard().run(circuit, fabric, options=options)
     return result, time.perf_counter() - started
@@ -102,16 +137,24 @@ def time_case(case: BenchCase, repeats: int = 3) -> dict:
     fabric = _leg_fabric(case.fabric, compiled_routing=True)
     for _ in range(max(1, repeats)):
         result, seconds = _run_pipeline(
-            case.circuit, fabric, case.placer, compiled_routing=True
+            case.circuit,
+            fabric,
+            case.placer,
+            compiled_routing=True,
+            technology=case.technology,
+            scheduler=case.scheduler,
         )
         if seconds < best_seconds:
             best_result, best_seconds = result, seconds
     assert best_result is not None
     circuit = resolve_circuit(case.circuit)
     record = {
+        "label": case.label,
         "circuit": case.circuit,
         "fabric": case.fabric,
         "placer": case.placer,
+        "technology": case.technology,
+        "scheduler": case.scheduler,
         "qubits": circuit.num_qubits,
         "instructions": circuit.num_instructions,
         "wall_seconds": best_seconds,
@@ -201,7 +244,7 @@ def format_perf_report(report: dict) -> str:
     """Human-readable tables of a :func:`run_perf_suite` report."""
     case_rows = [
         (
-            case["circuit"],
+            case.get("label", case["circuit"]),
             case["instructions"],
             round(case["wall_seconds"] * 1000, 1),
             round(case["routing_seconds"] * 1000, 1),
@@ -246,5 +289,5 @@ def format_perf_report(report: dict) -> str:
 
 
 def bundled_case_names(cases: Sequence[BenchCase] = FULL_CASES) -> list[str]:
-    """Circuit names of the given cases (helper for CLI help/tests)."""
-    return [case.circuit for case in cases]
+    """Scenario-qualified labels of the given cases (helper for CLI help/tests)."""
+    return [case.label for case in cases]

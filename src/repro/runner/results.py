@@ -16,6 +16,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.mapper.result import MappingResult
     from repro.runner.spec import ExperimentSpec
 
+
+def scenario_suffix(
+    *,
+    technology: str = "paper",
+    scheduler: str = "qspr",
+    turn_aware: bool = True,
+    meeting_point: str = "median",
+    channel_capacity: "int | None" = None,
+    barrier_scheduling: bool = False,
+) -> str:
+    """``+``-joined tags of the non-default scenario axes (``""`` for paper).
+
+    Appended to ``mapper[/placer]`` config labels by specs and cell results,
+    so scenario sweeps produce distinct report columns while the default
+    paper scenario keeps its historical labels.
+
+    Example::
+
+        >>> scenario_suffix(technology="fast-turn", barrier_scheduling=True)
+        '+fast-turn+barriers'
+        >>> scenario_suffix()
+        ''
+    """
+    tags: list[str] = []
+    if technology != "paper":
+        tags.append(technology)
+    if scheduler != "qspr":
+        tags.append(scheduler)
+    if not turn_aware:
+        tags.append("no-turn-aware")
+    if meeting_point != "median":
+        tags.append(f"meet-{meeting_point}")
+    if channel_capacity is not None:
+        tags.append(f"cap{channel_capacity}")
+    if barrier_scheduling:
+        tags.append("barriers")
+    return "".join(f"+{tag}" for tag in tags)
+
 #: Column order of the CSV writer (and of ``CellResult`` itself).
 CSV_FIELDS: tuple[str, ...] = (
     "circuit",
@@ -24,6 +62,12 @@ CSV_FIELDS: tuple[str, ...] = (
     "fabric",
     "num_seeds",
     "random_seed",
+    "technology",
+    "scheduler",
+    "turn_aware",
+    "meeting_point",
+    "channel_capacity",
+    "barrier_scheduling",
     "latency",
     "ideal_latency",
     "placement_runs",
@@ -54,6 +98,14 @@ class CellResult:
         fabric: Fabric label (see :attr:`repro.runner.spec.FabricCell.label`).
         num_seeds: MVFB seed count ``m`` the cell ran with.
         random_seed: Random seed of the cell.
+        technology: Technology (PMD) registry name the cell ran under.
+        scheduler: Scheduling-policy registry name (normalised: ``"qspr"``
+            for the fixed presets, which pin their own policy).
+        turn_aware: Whether path selection modelled turns.
+        meeting_point: Meeting-trap selection rule of the cell.
+        channel_capacity: Channel-capacity override (``None`` = technology
+            default).
+        barrier_scheduling: Whether scheduling was level-by-level (ALAP).
         latency: Execution latency in microseconds (the figure of merit).
         ideal_latency: Zero-routing/zero-congestion lower bound.
         placement_runs: Placement runs the placer performed.
@@ -88,6 +140,12 @@ class CellResult:
     fabric: str = "quale-12x22c3"
     num_seeds: int = 1
     random_seed: int = 0
+    technology: str = "paper"
+    scheduler: str = "qspr"
+    turn_aware: bool = True
+    meeting_point: str = "median"
+    channel_capacity: "int | None" = None
+    barrier_scheduling: bool = False
     latency: float = 0.0
     ideal_latency: float = 0.0
     placement_runs: int = 0
@@ -116,15 +174,23 @@ class CellResult:
             >>> cell.mapper, cell.latency >= cell.ideal_latency
             ('quale', True)
         """
+        # Normalising drops the axes a preset mapper pins (placer, scheduler,
+        # routing features), so an explicit un-normalised ideal/quale spec
+        # still reports "-" and the default scenario tags.
+        normalized = spec.normalized()
         return cls(
             circuit=spec.circuit,
             mapper=spec.mapper,
-            # Normalising drops the placer axis for placerless mappers, so an
-            # explicit (un-normalised) ideal/quale spec still reports "-".
-            placer=spec.normalized().placer or "-",
+            placer=normalized.placer or "-",
             fabric=spec.fabric.label,
             num_seeds=spec.num_seeds,
             random_seed=spec.random_seed,
+            technology=normalized.technology,
+            scheduler=normalized.scheduler,
+            turn_aware=normalized.turn_aware,
+            meeting_point=normalized.meeting_point,
+            channel_capacity=normalized.channel_capacity,
+            barrier_scheduling=normalized.barrier_scheduling,
             latency=result.latency,
             ideal_latency=result.ideal_latency,
             placement_runs=result.placement_runs,
@@ -144,16 +210,28 @@ class CellResult:
 
     @property
     def config_label(self) -> str:
-        """``mapper[/placer]`` — the report column this cell belongs to.
+        """``mapper[/placer][+scenario…]`` — the report column of this cell.
 
         Example::
 
             >>> CellResult(circuit="c", mapper="qspr", placer="mvfb").config_label
             'qspr/mvfb'
+            >>> CellResult(circuit="c", mapper="qspr", placer="mvfb",
+            ...            technology="cap-1").config_label
+            'qspr/mvfb+cap-1'
         """
         if self.placer != "-":
-            return f"{self.mapper}/{self.placer}"
-        return self.mapper
+            label = f"{self.mapper}/{self.placer}"
+        else:
+            label = self.mapper
+        return label + scenario_suffix(
+            technology=self.technology,
+            scheduler=self.scheduler,
+            turn_aware=self.turn_aware,
+            meeting_point=self.meeting_point,
+            channel_capacity=self.channel_capacity,
+            barrier_scheduling=self.barrier_scheduling,
+        )
 
     @property
     def overhead_vs_ideal(self) -> float:

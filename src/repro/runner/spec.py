@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
+from itertools import product
 from pathlib import Path
 from typing import Sequence
 
@@ -31,6 +32,10 @@ from repro.mapper.options import MapperOptions
 from repro.pipeline.circuits import resolve_circuit
 from repro.pipeline.mappers import MAPPERS, resolve_mapper
 from repro.pipeline.placers import PLACERS
+from repro.pipeline.schedulers import SCHEDULERS
+from repro.pipeline.technologies import TECHNOLOGIES, resolve_technology
+from repro.routing.router import MeetingPoint
+from repro.runner.results import scenario_suffix
 
 
 #: Built-in mapper names at import time.  Validation goes through the live
@@ -41,6 +46,15 @@ MAPPER_NAMES: tuple[str, ...] = MAPPERS.names()
 #: Built-in placer names at import time (see :data:`repro.pipeline.PLACERS`).
 PLACER_NAMES: tuple[str, ...] = PLACERS.names()
 
+#: Built-in scheduler names at import time (see :data:`repro.pipeline.SCHEDULERS`).
+SCHEDULER_NAMES: tuple[str, ...] = SCHEDULERS.names()
+
+#: Built-in technology names at import time (see :data:`repro.pipeline.TECHNOLOGIES`).
+TECHNOLOGY_NAMES: tuple[str, ...] = TECHNOLOGIES.names()
+
+#: Legal ``meeting_point`` axis values (the :class:`MeetingPoint` enum values).
+MEETING_POINTS: tuple[str, ...] = tuple(point.value for point in MeetingPoint)
+
 #: Built-in mappers whose placement strategy is fixed: they take no placer /
 #: seed axes, so those axes collapse during normalisation.  Mappers outside
 #: this set — QSPR and any registered plugin — receive the full axes, since
@@ -48,7 +62,10 @@ PLACER_NAMES: tuple[str, ...] = PLACERS.names()
 PLACERLESS_MAPPERS: frozenset[str] = frozenset({"quale", "qpos", "ideal"})
 
 #: Bump when the semantics of a cached record change; part of every cache key.
-CACHE_SCHEMA = 2
+#: Schema 3: the scenario axes (technology, scheduler, routing features)
+#: joined the spec, so schema-2 records — which could not distinguish
+#: scenarios — are never served again.
+CACHE_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -145,12 +162,30 @@ class ExperimentSpec:
             ``num_seeds`` default).
         random_seed: Seed of all randomised placement decisions.
         fabric: Target fabric parameters.
+        technology: Name of the physical machine description in
+            :data:`repro.pipeline.TECHNOLOGIES` (``"paper"``, ``"fast-turn"``,
+            ``"cap-1"``, … or a registered custom PMD).
+        scheduler: Name of the scheduling policy in
+            :data:`repro.pipeline.SCHEDULERS` (``"qspr"``, ``"quale-alap"``,
+            … or a registered plugin).  Consumed by scenario-driven mappers
+            (QSPR and plugins); the QUALE/QPOS presets fix their own.
+        turn_aware: Model turns during path selection (QSPR routing feature).
+        meeting_point: Meeting-trap selection rule — ``"median"`` (QSPR),
+            ``"destination"`` (QPOS/QUALE) or ``"center"``.
+        channel_capacity: Channel-capacity override; ``None`` uses the
+            technology's value.
+        barrier_scheduling: Schedule level-by-level (ALAP) before mapping,
+            as the prior tools do.
 
     Example::
 
         >>> spec = ExperimentSpec(circuit="[[5,1,3]]", mapper="qspr", placer="center")
         >>> spec.config_label()
         'qspr/center'
+        >>> spec = ExperimentSpec("[[5,1,3]]", placer="center",
+        ...                       technology="fast-turn", scheduler="quale-alap")
+        >>> spec.config_label()
+        'qspr/center+fast-turn+quale-alap'
     """
 
     circuit: str
@@ -160,9 +195,24 @@ class ExperimentSpec:
     num_placements: int | None = None
     random_seed: int = 0
     fabric: FabricCell = QUALE_FABRIC_CELL
+    technology: str = "paper"
+    scheduler: str = "qspr"
+    turn_aware: bool = True
+    meeting_point: str = "median"
+    channel_capacity: int | None = None
+    barrier_scheduling: bool = False
 
     def __post_init__(self) -> None:
         MAPPERS.resolve(self.mapper, error=MappingError)
+        TECHNOLOGIES.resolve(self.technology, error=MappingError)
+        SCHEDULERS.resolve(self.scheduler, error=MappingError)
+        if self.meeting_point not in MEETING_POINTS:
+            raise MappingError(
+                f"unknown meeting point {self.meeting_point!r} "
+                f"(known: {', '.join(MEETING_POINTS)})"
+            )
+        if self.channel_capacity is not None and self.channel_capacity < 1:
+            raise MappingError("channel_capacity must be at least 1")
         if self.uses_placer_axes:
             if self.placer is None:
                 raise MappingError(
@@ -222,21 +272,49 @@ class ExperimentSpec:
             # Custom placers: nothing is known about which axes they read,
             # so keep every axis (conservative — no cache-key collisions).
             return self
+        # The fixed presets (QUALE/QPOS/ideal) also pin their scheduler and
+        # routing features, so those axes collapse too; the technology axis
+        # stays — presets honour alternative PMD delays.
         return replace(
-            self, placer=None, num_seeds=1, num_placements=None, random_seed=0
+            self,
+            placer=None,
+            num_seeds=1,
+            num_placements=None,
+            random_seed=0,
+            scheduler="qspr",
+            turn_aware=True,
+            meeting_point="median",
+            channel_capacity=None,
+            barrier_scheduling=False,
         )
 
     def config_label(self) -> str:
-        """Short ``mapper[/placer]`` label used as a report column header.
+        """Short ``mapper[/placer][+scenario…]`` report column header.
+
+        Non-default scenario axes are appended as ``+`` tags, so one sweep
+        over technologies and schedulers yields distinct columns while the
+        default (paper) scenario keeps its historical label.
 
         Example::
 
             >>> ExperimentSpec("[[5,1,3]]", mapper="ideal").config_label()
             'ideal'
+            >>> ExperimentSpec("[[5,1,3]]", technology="cap-1",
+            ...                barrier_scheduling=True).config_label()
+            'qspr/mvfb+cap-1+barriers'
         """
         if self.mapper == "qspr" and self.placer is not None:
-            return f"{self.mapper}/{self.placer}"
-        return self.mapper
+            label = f"{self.mapper}/{self.placer}"
+        else:
+            label = self.mapper
+        return label + scenario_suffix(
+            technology=self.technology,
+            scheduler=self.scheduler,
+            turn_aware=self.turn_aware,
+            meeting_point=self.meeting_point,
+            channel_capacity=self.channel_capacity,
+            barrier_scheduling=self.barrier_scheduling,
+        )
 
     # ------------------------------------------------------------------
     # Construction of the live objects.
@@ -279,6 +357,12 @@ class ExperimentSpec:
         if self.placer == "monte-carlo" and num_placements is None:
             num_placements = self.num_seeds
         return MapperOptions(
+            technology=resolve_technology(self.technology),
+            scheduler=self.scheduler,
+            turn_aware_routing=self.turn_aware,
+            meeting_point=MeetingPoint(self.meeting_point),
+            channel_capacity=self.channel_capacity,
+            barrier_scheduling=self.barrier_scheduling,
             placer=self.placer,
             num_seeds=self.num_seeds,
             num_placements=num_placements,
@@ -296,7 +380,15 @@ class ExperimentSpec:
             >>> type(ExperimentSpec("[[5,1,3]]", mapper="qpos").build_mapper()).__name__
             'QposMapper'
         """
-        options = self.mapper_options() if self.uses_placer_axes else None
+        if self.uses_placer_axes:
+            options = self.mapper_options()
+        elif self.technology != "paper":
+            # The fixed presets ignore every knob except the PMD: hand them
+            # the selected technology so e.g. a QUALE cell of a fast-turn
+            # sweep actually runs under fast-turn delays.
+            options = MapperOptions(technology=resolve_technology(self.technology))
+        else:
+            options = None
         return resolve_mapper(self.mapper, options)
 
     # ------------------------------------------------------------------
@@ -355,10 +447,14 @@ class ExperimentSpec:
 class Sweep:
     """A cross-product experiment grid.
 
-    The axes mirror the paper's evaluation: circuits × mappers × placers ×
-    fabrics × seed counts × random seeds.  Axes that do not apply to a
-    mapper (e.g. placers for QUALE) are collapsed during expansion, so the
-    grid never runs the same configuration twice.
+    The axes mirror the paper's evaluation and its ablations: circuits ×
+    mappers × placers × fabrics × seed counts × random seeds, crossed with
+    the scenario axes — technologies × schedulers × routing features
+    (turn awareness, meeting point, channel capacity, barrier scheduling).
+    Axes that do not apply to a mapper (e.g. placers or schedulers for
+    QUALE) are collapsed during expansion, so the grid never runs the same
+    configuration twice.  One sweep can therefore reproduce an entire
+    Section-V ablation table in a single run.
 
     Example::
 
@@ -366,6 +462,11 @@ class Sweep:
         ...               mappers=("qspr", "quale"), placers=("mvfb", "center"))
         >>> len(sweep.expand())  # 2*(2 placers + 1 deduped quale cell)
         6
+        >>> ablation = Sweep(circuits=("[[5,1,3]]",), placers=("center",),
+        ...                  technologies=("paper", "fast-turn"),
+        ...                  schedulers=("qspr", "qpos-dependents"))
+        >>> ablation.size  # 2 technologies x 2 schedulers
+        4
     """
 
     circuits: tuple[str, ...]
@@ -374,6 +475,12 @@ class Sweep:
     num_seeds: tuple[int, ...] = (3,)
     random_seeds: tuple[int, ...] = (0,)
     fabrics: tuple[FabricCell, ...] = (QUALE_FABRIC_CELL,)
+    technologies: tuple[str, ...] = ("paper",)
+    schedulers: tuple[str, ...] = ("qspr",)
+    turn_aware: tuple[bool, ...] = (True,)
+    meeting_points: tuple[str, ...] = ("median",)
+    channel_capacities: "tuple[int | None, ...]" = (None,)
+    barriers: tuple[bool, ...] = (False,)
 
     def __post_init__(self) -> None:
         for name, axis in (
@@ -383,6 +490,12 @@ class Sweep:
             ("num_seeds", self.num_seeds),
             ("random_seeds", self.random_seeds),
             ("fabrics", self.fabrics),
+            ("technologies", self.technologies),
+            ("schedulers", self.schedulers),
+            ("turn_aware", self.turn_aware),
+            ("meeting_points", self.meeting_points),
+            ("channel_capacities", self.channel_capacities),
+            ("barriers", self.barriers),
         ):
             if not axis:
                 raise MappingError(f"sweep axis {name!r} must not be empty")
@@ -408,23 +521,48 @@ class Sweep:
             ['qspr', 'ideal']
         """
         cells: dict[ExperimentSpec, None] = {}
-        for circuit in self.circuits:
-            for fabric in self.fabrics:
-                for mapper in self.mappers:
-                    for placer in self.placers:
-                        for m in self.num_seeds:
-                            for seed in self.random_seeds:
-                                spec = ExperimentSpec(
-                                    circuit=circuit,
-                                    mapper=mapper,
-                                    placer=(
-                                        placer if mapper not in PLACERLESS_MAPPERS else None
-                                    ),
-                                    num_seeds=m,
-                                    random_seed=seed,
-                                    fabric=fabric,
-                                ).normalized()
-                                cells.setdefault(spec, None)
+        for (
+            circuit,
+            fabric,
+            technology,
+            scheduler,
+            turn_aware,
+            meeting_point,
+            channel_capacity,
+            barrier,
+            mapper,
+            placer,
+            m,
+            seed,
+        ) in product(
+            self.circuits,
+            self.fabrics,
+            self.technologies,
+            self.schedulers,
+            self.turn_aware,
+            self.meeting_points,
+            self.channel_capacities,
+            self.barriers,
+            self.mappers,
+            self.placers,
+            self.num_seeds,
+            self.random_seeds,
+        ):
+            spec = ExperimentSpec(
+                circuit=circuit,
+                mapper=mapper,
+                placer=placer if mapper not in PLACERLESS_MAPPERS else None,
+                num_seeds=m,
+                random_seed=seed,
+                fabric=fabric,
+                technology=technology,
+                scheduler=scheduler,
+                turn_aware=turn_aware,
+                meeting_point=meeting_point,
+                channel_capacity=channel_capacity,
+                barrier_scheduling=barrier,
+            ).normalized()
+            cells.setdefault(spec, None)
         return tuple(cells)
 
     def to_dict(self) -> dict:
@@ -463,7 +601,8 @@ class Sweep:
                 fabric if isinstance(fabric, FabricCell) else FabricCell(**fabric)
                 for fabric in data["fabrics"]
             )
-        for name in ("circuits", "mappers", "placers"):
+        for name in ("circuits", "mappers", "placers", "technologies",
+                     "schedulers", "meeting_points"):
             if name in data:
                 data[name] = parse_axis(data[name])
         for name in ("num_seeds", "random_seeds"):
@@ -474,7 +613,73 @@ class Sweep:
                 elif isinstance(axis, (int, float)):
                     axis = (axis,)
                 data[name] = tuple(int(value) for value in axis)
+        for name in ("turn_aware", "barriers"):
+            if name in data:
+                data[name] = parse_bool_axis(data[name], name)
+        if "channel_capacities" in data:
+            data["channel_capacities"] = parse_capacity_axis(data["channel_capacities"])
         return cls(**data)
+
+
+def parse_bool_axis(value, name: str = "axis") -> tuple[bool, ...]:
+    """Normalise a boolean sweep axis from CLI/JSON spellings.
+
+    Accepts a bare bool, a comma-separated string or a sequence; recognised
+    spellings are ``1/0``, ``true/false``, ``yes/no``, ``on/off``::
+
+        >>> parse_bool_axis("1,0")
+        (True, False)
+        >>> parse_bool_axis(True)
+        (True,)
+    """
+    if isinstance(value, bool):
+        return (value,)
+    items = parse_axis(value) if isinstance(value, str) else tuple(value)
+    spellings = {
+        "1": True, "true": True, "yes": True, "on": True,
+        "0": False, "false": False, "no": False, "off": False,
+    }
+    parsed: list[bool] = []
+    for item in items:
+        if isinstance(item, bool):
+            parsed.append(item)
+            continue
+        key = str(item).strip().lower()
+        if key not in spellings:
+            raise MappingError(
+                f"sweep axis {name!r} expects booleans (1/0, true/false), got {item!r}"
+            )
+        parsed.append(spellings[key])
+    return tuple(parsed)
+
+
+def parse_capacity_axis(value) -> "tuple[int | None, ...]":
+    """Normalise the channel-capacity axis; ``default``/``none``/``0`` mean
+    "use the technology's capacity"::
+
+        >>> parse_capacity_axis("default,1,2")
+        (None, 1, 2)
+    """
+    if value is None or isinstance(value, int):
+        return (value or None,)  # a bare 0 means "default", like "0"
+    items = parse_axis(value) if isinstance(value, str) else tuple(value)
+    parsed: list[int | None] = []
+    for item in items:
+        if item is None:
+            parsed.append(None)
+            continue
+        text = str(item).strip().lower()
+        if text in ("default", "none", "tech", "0"):
+            parsed.append(None)
+            continue
+        try:
+            parsed.append(int(text))
+        except ValueError as exc:
+            raise MappingError(
+                f"sweep axis 'channel_capacities' expects integers or "
+                f"'default', got {item!r}"
+            ) from exc
+    return tuple(parsed)
 
 
 def parse_axis(text: str | Sequence[str]) -> tuple[str, ...]:

@@ -7,20 +7,37 @@ scheduler is therefore interleaved with the router inside the event-driven
 simulator (:mod:`repro.sim.engine`); this package provides the pieces the
 simulator composes:
 
-* :mod:`repro.scheduling.priority` — the priority functions of QSPR, QUALE,
-  QPOS and the QPOS variant of reference [5].
+* :mod:`repro.scheduling.policies` — the :class:`SchedulingPolicy` strategy
+  objects of QSPR, QUALE, QPOS and the QPOS variant of reference [5]; the
+  pluggable scheduler surface registered in
+  :data:`repro.pipeline.schedulers.SCHEDULERS`.
+* :mod:`repro.scheduling.priority` — the legacy ``PriorityPolicy`` enum, a
+  thin deprecated alias over the policy objects.
 * :mod:`repro.scheduling.ready` — dependency bookkeeping (which instructions
   are ready to issue).
 * :mod:`repro.scheduling.busy_queue` — instructions that were ready but could
-  not be routed; they are retried when channel occupancy changes.
+  not be routed; they are retried when the channels that blocked them are
+  released (wake-sets keyed by channel).
 """
 
+from repro.scheduling.policies import (
+    QposDependentsPolicy,
+    QposPathDelayPolicy,
+    QsprPolicy,
+    QualeAlapPolicy,
+    SchedulingPolicy,
+)
 from repro.scheduling.priority import PriorityPolicy, compute_priorities
 from repro.scheduling.ready import DependencyTracker
 from repro.scheduling.busy_queue import BusyQueue
 
 __all__ = [
     "PriorityPolicy",
+    "QposDependentsPolicy",
+    "QposPathDelayPolicy",
+    "QsprPolicy",
+    "QualeAlapPolicy",
+    "SchedulingPolicy",
     "compute_priorities",
     "DependencyTracker",
     "BusyQueue",

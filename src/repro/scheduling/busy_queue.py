@@ -5,9 +5,22 @@ When the router cannot find a finite-weight path for a ready instruction
 retried whenever the status of some channel changes (a qubit-exits-channel
 event).  The time an instruction spends in this queue is the paper's
 ``T_congestion`` contribution to its delay (Eq. 1).
+
+Retries are driven by **wake-sets keyed by resource**: a parked instruction
+records the channels that blocked its last routing attempt
+(:meth:`BusyQueue.block_on`), and a qubit-exits-channel event wakes only the
+instructions parked on the released channel (:meth:`BusyQueue.wake`) instead
+of invalidating the whole queue.  Events that change the fabric in ways no
+single channel identifies — a gate finishing (trap occupancy, qubit
+positions) or another instruction issuing (operands vacate their origin
+traps) — wake everything (:meth:`BusyQueue.wake_all`).  An instruction whose
+recorded blockers are all still standing is guaranteed to fail routing
+again, so the issue loop skips it (:meth:`BusyQueue.needs_retry`).
 """
 
 from __future__ import annotations
+
+from typing import Hashable, Iterable
 
 from repro.errors import SchedulingError
 
@@ -18,6 +31,14 @@ class BusyQueue:
     def __init__(self) -> None:
         self._parked: dict[int, float] = {}
         self._total_entries = 0
+        # Wake-set bookkeeping: a parked instruction appears in `_blockers`
+        # exactly while its last routing failure is known to still stand;
+        # `_wake` is the reverse index (resource → instructions parked on
+        # it).  Reverse-index entries are cleaned lazily — waking an
+        # instruction that would fail anyway is harmless (routing is pure),
+        # whereas never waking a routable one would change schedules.
+        self._blockers: dict[int, frozenset[Hashable]] = {}
+        self._wake: dict[Hashable, set[int]] = {}
 
     def park(self, index: int, time: float) -> None:
         """Add ``index`` to the queue at ``time`` (idempotent for re-parks)."""
@@ -32,9 +53,59 @@ class BusyQueue:
             SchedulingError: If the instruction is not in the queue.
         """
         try:
-            return self._parked.pop(index)
+            parked_at = self._parked.pop(index)
         except KeyError as exc:
             raise SchedulingError(f"instruction {index} is not in the busy queue") from exc
+        self._blockers.pop(index, None)
+        return parked_at
+
+    # ------------------------------------------------------------------
+    # Wake-sets keyed by resource
+    # ------------------------------------------------------------------
+    def block_on(self, index: int, resources: Iterable[Hashable]) -> None:
+        """Record the resources that blocked ``index``'s last routing attempt.
+
+        Until one of them is released (:meth:`wake`) or the fabric changes in
+        a way no resource identifies (:meth:`wake_all`), the instruction is
+        known to be unroutable and :meth:`needs_retry` returns ``False``.
+
+        Raises:
+            SchedulingError: If the instruction is not parked.
+        """
+        if index not in self._parked:
+            raise SchedulingError(f"instruction {index} is not in the busy queue")
+        blockers = frozenset(resources)
+        self._blockers[index] = blockers
+        for resource in blockers:
+            self._wake.setdefault(resource, set()).add(index)
+
+    def needs_retry(self, index: int) -> bool:
+        """Whether a routing retry of parked ``index`` could succeed.
+
+        ``False`` only while the blockers recorded by :meth:`block_on` are
+        all known to still stand; instructions without recorded blockers are
+        always retried.
+        """
+        return index not in self._blockers
+
+    def wake(self, resource: Hashable) -> list[int]:
+        """Release ``resource``: wake the instructions parked on it.
+
+        Returns the woken instruction indices (mainly for tests/metrics).
+        """
+        woken: list[int] = []
+        for index in self._wake.pop(resource, ()):
+            # Lazy reverse-index cleanup: only instructions whose *current*
+            # blocker set names the resource are actually asleep on it.
+            if resource in self._blockers.get(index, ()):
+                del self._blockers[index]
+                woken.append(index)
+        return woken
+
+    def wake_all(self) -> None:
+        """Invalidate every recorded blocker set (fabric-wide state change)."""
+        self._blockers.clear()
+        self._wake.clear()
 
     def __contains__(self, index: int) -> bool:
         return index in self._parked

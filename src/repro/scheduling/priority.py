@@ -1,7 +1,14 @@
-"""Scheduling priority functions.
+"""Scheduling priority functions (legacy enum surface).
 
-Higher priority values are issued first.  Four policies are provided,
-matching the tools discussed in the paper:
+.. deprecated::
+    The closed :class:`PriorityPolicy` enum is kept as a thin alias for
+    backward compatibility.  The canonical scheduling surface is the
+    :class:`~repro.scheduling.policies.SchedulingPolicy` strategy objects
+    registered in :data:`repro.pipeline.schedulers.SCHEDULERS`; new code
+    (and anything configurable from specs, sweeps, the CLI or the service)
+    selects a scheduler by registry name.
+
+Four policies are provided, matching the tools discussed in the paper:
 
 * ``QSPR`` — the paper's policy (Section III): number of dependent operations
   plus the longest delay path from the instruction to the end of the QIDG.
@@ -19,51 +26,61 @@ from __future__ import annotations
 
 from enum import Enum
 
-from repro.qidg.analysis import alap_levels, descendant_counts, longest_path_to_sink
 from repro.qidg.graph import QIDG
+from repro.scheduling.policies import (
+    QposDependentsPolicy,
+    QposPathDelayPolicy,
+    QsprPolicy,
+    QualeAlapPolicy,
+    SchedulingPolicy,
+)
 from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
 
 
 class PriorityPolicy(Enum):
-    """Available priority functions."""
+    """Available priority functions (deprecated alias).
+
+    The enum values equal the registry names of the corresponding
+    :class:`~repro.scheduling.policies.SchedulingPolicy` entries in
+    :data:`repro.pipeline.schedulers.SCHEDULERS`, so the two surfaces are
+    interchangeable wherever a scheduler is selected.
+    """
 
     QSPR = "qspr"
     QUALE_ALAP = "quale-alap"
     QPOS_DEPENDENTS = "qpos-dependents"
     QPOS_PATH_DELAY = "qpos-path-delay"
 
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The strategy object this enum member aliases."""
+        return _ENUM_POLICIES[self]
+
+
+#: Enum member → strategy instance (the enum is a closed view of these four).
+_ENUM_POLICIES: dict[PriorityPolicy, SchedulingPolicy] = {
+    PriorityPolicy.QSPR: QsprPolicy(),
+    PriorityPolicy.QUALE_ALAP: QualeAlapPolicy(),
+    PriorityPolicy.QPOS_DEPENDENTS: QposDependentsPolicy(),
+    PriorityPolicy.QPOS_PATH_DELAY: QposPathDelayPolicy(),
+}
+
 
 def compute_priorities(
     qidg: QIDG,
-    policy: PriorityPolicy = PriorityPolicy.QSPR,
+    policy: PriorityPolicy | SchedulingPolicy = PriorityPolicy.QSPR,
     technology: TechnologyParams = PAPER_TECHNOLOGY,
 ) -> dict[int, float]:
     """Compute the static priority of every instruction under ``policy``.
 
-    Priorities only depend on the dependency graph and the gate delays, so
-    they are computed once per mapping run.  Ties are broken by the simulator
-    in favour of lower instruction indices (program order), which keeps runs
-    deterministic.
+    Accepts either a legacy :class:`PriorityPolicy` member or a
+    :class:`~repro.scheduling.policies.SchedulingPolicy` object; the actual
+    computation lives on the policy classes.  Ties are broken by the
+    simulator in favour of lower instruction indices (program order), which
+    keeps runs deterministic.
     """
-    if policy is PriorityPolicy.QSPR:
-        counts = descendant_counts(qidg)
-        paths = longest_path_to_sink(qidg, technology)
-        return {node: counts[node] + paths[node] for node in qidg.graph.nodes}
-    if policy is PriorityPolicy.QUALE_ALAP:
-        levels = alap_levels(qidg)
-        return {node: -float(level) for node, level in levels.items()}
-    if policy is PriorityPolicy.QPOS_DEPENDENTS:
-        return {node: float(count) for node, count in descendant_counts(qidg).items()}
-    if policy is PriorityPolicy.QPOS_PATH_DELAY:
-        paths = longest_path_to_sink(qidg, technology)
-        own_delay = {
-            node: technology.gate_delay(
-                qidg.instruction(node).arity,
-                is_measurement=qidg.instruction(node).is_measurement,
-            )
-            for node in qidg.graph.nodes
-        }
-        # "Total delay of dependent instructions": the downstream path delay,
-        # excluding the instruction's own delay.
-        return {node: paths[node] - own_delay[node] for node in qidg.graph.nodes}
+    if isinstance(policy, PriorityPolicy):
+        return policy.policy.priorities(qidg, technology)
+    if isinstance(policy, SchedulingPolicy):
+        return policy.priorities(qidg, technology)
     raise ValueError(f"unknown priority policy: {policy!r}")

@@ -5,13 +5,19 @@ initial placement.  It interleaves scheduling and routing exactly as the
 paper describes (Sections III and IV.B):
 
 1. Ready instructions (all QIDG predecessors completed) are considered in
-   priority order — or in a *forced* total order for MVFB backward passes.
+   the order owned by the run's :class:`~repro.scheduling.policies.
+   SchedulingPolicy` (a :class:`_PolicyOrderSelector`) — or gated
+   level-by-level for barrier scheduling, or in a *forced* total order for
+   MVFB backward passes (each a :class:`_CandidateSelector` strategy).
 2. For each candidate the router plans the operand journeys under the current
    congestion; if no finite route exists the instruction is parked in the
-   busy queue (its waiting time is the ``T_congestion`` of Eq. 1).
+   busy queue on the channels that blocked it (its waiting time is the
+   ``T_congestion`` of Eq. 1).
 3. Issued instructions reserve every channel on their routes; qubit-exits-
-   channel events release the reservations and trigger busy-queue retries;
-   instruction-finished events wake up dependent instructions.
+   channel events release the reservations and wake exactly the parked
+   instructions blocked on the released channel; instruction-finished events
+   wake up dependent instructions (and, because trap occupancy changed, the
+   whole busy queue).
 
 The outcome carries the total latency, the realised schedule, the final
 placement (needed by the MVFB placer), per-instruction timing records and the
@@ -35,7 +41,8 @@ from repro.routing.congestion import CongestionTracker
 from repro.routing.path import RoutePlan
 from repro.routing.router import InstructionRoute, Router, RoutingPolicy, QSPR_POLICY
 from repro.scheduling.busy_queue import BusyQueue
-from repro.scheduling.priority import PriorityPolicy, compute_priorities
+from repro.scheduling.policies import SchedulingPolicy
+from repro.scheduling.priority import PriorityPolicy
 from repro.scheduling.ready import DependencyTracker
 from repro.sim.events import ChannelExited, EventQueue, GateFinished
 from repro.sim.microcode import CommandKind, MicroCommand
@@ -134,11 +141,13 @@ class FabricSimulator:
         technology: TechnologyParams = PAPER_TECHNOLOGY,
         *,
         routing_policy: RoutingPolicy = QSPR_POLICY,
-        priority_policy: PriorityPolicy = PriorityPolicy.QSPR,
+        priority_policy: "PriorityPolicy | SchedulingPolicy | str" = PriorityPolicy.QSPR,
+        scheduler: "SchedulingPolicy | PriorityPolicy | str | None" = None,
         forced_order: list[int] | None = None,
         qidg: QIDG | None = None,
         barrier_scheduling: bool = False,
         compiled_routing: bool = True,
+        busy_wake_sets: bool = False,
     ) -> None:
         """Create a simulator.
 
@@ -147,8 +156,13 @@ class FabricSimulator:
             fabric: The fabric to execute it on.
             technology: Delay and capacity parameters.
             routing_policy: Router feature switches (QSPR vs legacy).
-            priority_policy: Scheduling priority function (ignored when a
-                ``forced_order`` is given).
+            priority_policy: Scheduling policy selector — a
+                :class:`~repro.scheduling.policies.SchedulingPolicy`, a
+                registry name from :data:`repro.pipeline.SCHEDULERS` or a
+                legacy :class:`PriorityPolicy` member.  Ignored when a
+                ``forced_order`` is given.
+            scheduler: Alias of ``priority_policy`` under its canonical name;
+                takes precedence when both are passed.
             forced_order: Optional total issue order (a permutation of the
                 instruction indices).  Used by MVFB backward passes, which
                 replay the reversed schedule of the preceding forward pass.
@@ -165,17 +179,27 @@ class FabricSimulator:
                 ``False`` reproduces the pre-refactor object-based core —
                 results are identical either way; only speed differs.  Kept
                 selectable for differential tests and benchmarks.
+            busy_wake_sets: Retry a parked instruction only when one of the
+                channels that blocked its last routing attempt is released
+                (wake-sets keyed by channel), instead of re-planning the
+                whole busy queue on every channel-exit event.  Latencies,
+                schedules and movement counts are unchanged; only the
+                number of (futile) router calls drops, so the routing-core
+                counters shrink.  Off by default to keep default-scenario
+                reports byte-stable; turn it on for large congested runs.
         """
         self.circuit = circuit
         self.fabric = fabric
         self.technology = technology
         self.routing_policy = routing_policy
-        self.priority_policy = priority_policy
+        self.priority_policy = priority_policy if scheduler is None else scheduler
+        self.scheduler = _resolve_policy(self.priority_policy)
         self.qidg = qidg if qidg is not None else build_qidg(circuit)
         if forced_order is not None and not self.qidg.is_valid_order(forced_order):
             raise SimulationError("forced_order is not a topological order of the QIDG")
         self.forced_order = list(forced_order) if forced_order is not None else None
         self.barrier_scheduling = barrier_scheduling
+        self.busy_wake_sets = busy_wake_sets
         self.levels: dict[int, int] | None = (
             alap_levels(self.qidg) if barrier_scheduling else None
         )
@@ -186,7 +210,7 @@ class FabricSimulator:
             use_compiled=compiled_routing,
             use_route_cache=compiled_routing,
         )
-        self.priorities = compute_priorities(self.qidg, priority_policy, technology)
+        self.priorities = self.scheduler.priorities(self.qidg, technology)
 
     # ------------------------------------------------------------------
     # Public API
@@ -219,6 +243,127 @@ class FabricSimulator:
         return state.build_outcome(cpu_seconds)
 
 
+def _resolve_policy(
+    selector: "SchedulingPolicy | PriorityPolicy | str",
+) -> SchedulingPolicy:
+    """The :class:`SchedulingPolicy` behind any of the selector spellings."""
+    # Imported lazily: repro.pipeline imports this module (through the
+    # pipeline context), so a module-level import would be circular.
+    from repro.pipeline.schedulers import resolve_scheduler
+
+    return resolve_scheduler(selector, error=SimulationError)
+
+
+# ----------------------------------------------------------------------
+# Candidate selection strategies
+# ----------------------------------------------------------------------
+class _CandidateSelector:
+    """Which pool instructions the issue loop may try next, in which order.
+
+    One strategy instance per run; the three concrete selectors split what
+    used to be a single branching candidate computation inside the issue
+    loop.  All mutations of pool membership flow through the notification
+    hooks, so each strategy maintains exactly the view it needs.
+    """
+
+    def __init__(self, state: "_RunState") -> None:
+        self.state = state
+
+    def candidates(self) -> list[int]:
+        """Issueable instructions, most preferred first."""
+        raise NotImplementedError
+
+    def on_pool_changed(self) -> None:
+        """The candidate pool gained or lost a member."""
+
+    def on_issued(self, index: int) -> None:
+        """``index`` was issued."""
+
+    def on_completed(self, index: int) -> None:
+        """``index`` finished executing."""
+
+    @property
+    def stop_on_blocked_head(self) -> bool:
+        """Whether an unroutable head candidate blocks the whole issue loop."""
+        return False
+
+
+class _PolicyOrderSelector(_CandidateSelector):
+    """Standard mode: the scheduling policy owns the candidate ordering.
+
+    The pool (ready ∪ busy) and its policy-ordered view are maintained
+    incrementally: parking keeps pool membership, issuing removes, completion
+    adds the newly ready.  The ordered view is only rebuilt after a
+    membership change, instead of re-deriving set and order from scratch on
+    every issue attempt.
+    """
+
+    def __init__(self, state: "_RunState") -> None:
+        super().__init__(state)
+        self._dirty = True
+        self._ordered: list[int] = []
+
+    def candidates(self) -> list[int]:
+        if self._dirty:
+            self._ordered = self.state.sim.scheduler.order(
+                self.state.pool, self.state.sim.priorities
+            )
+            self._dirty = False
+        return self._ordered
+
+    def on_pool_changed(self) -> None:
+        self._dirty = True
+
+
+class _BarrierLevelSelector(_CandidateSelector):
+    """Barrier mode (QUALE): only the lowest unfinished ALAP level may issue."""
+
+    def __init__(self, state: "_RunState") -> None:
+        super().__init__(state)
+        assert state.sim.levels is not None
+        self.levels = state.sim.levels
+        self.level_remaining: dict[int, int] = {}
+        for level in self.levels.values():
+            self.level_remaining[level] = self.level_remaining.get(level, 0) + 1
+
+    def candidates(self) -> list[int]:
+        open_levels = [
+            level for level, remaining in self.level_remaining.items() if remaining > 0
+        ]
+        pool = self.state.pool
+        if open_levels:
+            current_level = min(open_levels)
+            pool = {index for index in pool if self.levels[index] == current_level}
+        return self.state.sim.scheduler.order(pool, self.state.sim.priorities)
+
+    def on_completed(self, index: int) -> None:
+        self.level_remaining[self.levels[index]] -= 1
+
+
+class _ForcedOrderSelector(_CandidateSelector):
+    """Forced mode (MVFB backward passes): replay a fixed total order."""
+
+    def __init__(self, state: "_RunState") -> None:
+        super().__init__(state)
+        assert state.sim.forced_order is not None
+        self.order = state.sim.forced_order
+        self.position = 0
+
+    def candidates(self) -> list[int]:
+        if self.position >= len(self.order):
+            return []
+        head = self.order[self.position]
+        return [head] if head in self.state.pool else []
+
+    def on_issued(self, index: int) -> None:
+        self.position += 1
+
+    @property
+    def stop_on_blocked_head(self) -> bool:
+        # A forced schedule cannot skip its head instruction.
+        return True
+
+
 class _RunState:
     """Mutable state of one simulation run (internal)."""
 
@@ -244,50 +389,21 @@ class _RunState:
         for index in self.ready:
             self.records[index] = InstructionRecord(index=index, ready_time=0.0)
         self.routes: dict[int, InstructionRoute] = {}
-        self.forced_position = 0
-        # The candidate pool (ready ∪ busy) and its priority-sorted view are
-        # maintained incrementally: parking keeps pool membership, issuing
-        # removes, completion adds the newly ready.  The sorted view is only
-        # rebuilt after a membership change, instead of re-deriving set and
-        # order from scratch on every issue attempt.
         self.pool: set[int] = set(self.ready)
-        self._pool_dirty = True
-        self._pool_sorted: list[int] = []
+        if sim.forced_order is not None:
+            self.selector: _CandidateSelector = _ForcedOrderSelector(self)
+        elif sim.levels is not None:
+            self.selector = _BarrierLevelSelector(self)
+        else:
+            self.selector = _PolicyOrderSelector(self)
+        # Busy-queue wake-sets only apply to the standard selector: forced
+        # and barrier runs retry unconditionally (their gating is cheap and
+        # their issue patterns make skipped retries not worth the risk).
+        self.use_wake_sets = sim.busy_wake_sets and isinstance(
+            self.selector, _PolicyOrderSelector
+        )
         self.routing_seconds = 0.0
         self._stats_baseline = sim.router.stats.snapshot()
-        self.level_remaining: dict[int, int] = {}
-        if sim.levels is not None:
-            for level in sim.levels.values():
-                self.level_remaining[level] = self.level_remaining.get(level, 0) + 1
-
-    # ------------------------------------------------------------------
-    # Issue logic
-    # ------------------------------------------------------------------
-    def _candidates(self) -> list[int]:
-        """Instructions eligible for issue, most preferred first."""
-        if self.sim.forced_order is not None:
-            if self.forced_position >= len(self.sim.forced_order):
-                return []
-            head = self.sim.forced_order[self.forced_position]
-            return [head] if head in self.pool else []
-        if self.sim.levels is not None:
-            open_levels = [
-                level for level, remaining in self.level_remaining.items() if remaining > 0
-            ]
-            pool = self.pool
-            if open_levels:
-                current_level = min(open_levels)
-                pool = {
-                    index for index in pool if self.sim.levels[index] == current_level
-                }
-            return sorted(pool, key=lambda index: (-self.sim.priorities[index], index))
-        if self._pool_dirty:
-            priorities = self.sim.priorities
-            self._pool_sorted = sorted(
-                self.pool, key=lambda index: (-priorities[index], index)
-            )
-            self._pool_dirty = False
-        return self._pool_sorted
 
     def _occupied_traps_for(self, instruction: Instruction) -> set[TrapId]:
         """Traps the router must not pick as the meeting trap."""
@@ -302,7 +418,16 @@ class _RunState:
         """Issue as many eligible instructions as the fabric state allows."""
         while True:
             issued_any = False
-            for index in self._candidates():
+            for index in self.selector.candidates():
+                if (
+                    self.use_wake_sets
+                    and index not in self.ready
+                    and not self.busy.needs_retry(index)
+                ):
+                    # Parked with every recorded blocking channel still at
+                    # capacity: planning is pure, so the retry would fail
+                    # exactly as it did last time.  Skip the router call.
+                    continue
                 instruction = self.sim.qidg.instruction(index)
                 plan_started = _time.perf_counter()
                 route = self.sim.router.plan_instruction(
@@ -316,8 +441,9 @@ class _RunState:
                     if index in self.ready:
                         self.ready.discard(index)
                         self.busy.park(index, now)
-                    if self.sim.forced_order is not None:
-                        # A forced schedule cannot skip its head instruction.
+                    if self.use_wake_sets:
+                        self.busy.block_on(index, self.congestion.full_channels())
+                    if self.selector.stop_on_blocked_head:
                         return
                     continue
                 self._issue(instruction, route, now)
@@ -332,11 +458,14 @@ class _RunState:
         if index in self.busy:
             self.busy.remove(index)
         self.pool.discard(index)
-        self._pool_dirty = True
+        self.selector.on_pool_changed()
+        self.selector.on_issued(index)
+        # Issuing vacates the operands' origin traps, which may open new
+        # meeting traps for every parked instruction: invalidate all
+        # wake-sets so the whole queue is retried.
+        self.busy.wake_all()
         self.deps.mark_issued(index)
         self.schedule.append(index)
-        if self.sim.forced_order is not None:
-            self.forced_position += 1
 
         record = self.records.setdefault(index, InstructionRecord(index=index, ready_time=now))
         record.issue_time = now
@@ -431,6 +560,9 @@ class _RunState:
     def process_event(self, now: float, event: GateFinished | ChannelExited) -> None:
         if isinstance(event, ChannelExited):
             self.congestion.release(event.channel_id)
+            # Wake only the instructions parked on the released channel; the
+            # rest of the busy queue is provably still unroutable.
+            self.busy.wake(event.channel_id)
             return
         # GateFinished
         index = event.instruction_index
@@ -441,12 +573,14 @@ class _RunState:
             self.positions[qubit] = route.target_trap
             self.resting.setdefault(route.target_trap, set()).add(qubit)
         self.reserved_traps.discard(route.target_trap)
-        if self.sim.levels is not None:
-            self.level_remaining[self.sim.levels[index]] -= 1
+        # Trap occupancy and qubit positions changed: every parked
+        # instruction may have gained a meeting trap, so retry them all.
+        self.busy.wake_all()
+        self.selector.on_completed(index)
         for newly_ready in self.deps.mark_completed(index):
             self.ready.add(newly_ready)
             self.pool.add(newly_ready)
-            self._pool_dirty = True
+            self.selector.on_pool_changed()
             self.records[newly_ready] = InstructionRecord(index=newly_ready, ready_time=now)
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ different instance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,38 @@ class TechnologyParams:
     def with_turn_delay(self, turn_delay: float) -> "TechnologyParams":
         """Return a copy with a different turn delay."""
         return replace(self, turn_delay=turn_delay)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        Example::
+
+            >>> TechnologyParams().to_dict()["turn_delay"]
+            10.0
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TechnologyParams":
+        """Build a fully custom PMD from a plain dict of parameter overrides.
+
+        Missing keys fall back to the paper values, so a record only needs to
+        name the parameters it changes.  Unknown keys raise ``ValueError`` so
+        a typo (``"turn_dealy"``) fails loudly instead of being ignored.
+
+        Example::
+
+            >>> TechnologyParams.from_dict({"turn_delay": 2.0}).turn_delay
+            2.0
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown technology parameters: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**record)
 
 
 #: Parameters used throughout the paper's experimental section.

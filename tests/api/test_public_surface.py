@@ -27,9 +27,16 @@ class TestPublicSurface:
         assert callable(repro.map_circuit)
 
     def test_registries_are_exported(self):
-        for registry_name in ("MAPPERS", "PLACERS", "FABRICS", "CIRCUITS"):
+        for registry_name in (
+            "MAPPERS", "PLACERS", "FABRICS", "CIRCUITS", "SCHEDULERS", "TECHNOLOGIES",
+        ):
             assert registry_name in repro.__all__
             assert len(getattr(repro, registry_name)) > 0
+
+    def test_scenario_surface_is_exported(self):
+        assert "SchedulingPolicy" in repro.__all__
+        assert callable(repro.resolve_scheduler)
+        assert callable(repro.resolve_technology)
 
 
 class TestCliListRoundTrip:

@@ -89,14 +89,30 @@ class TestLookup:
 
 
 class TestBuiltinRegistries:
-    def test_four_registries_are_populated(self):
-        from repro.pipeline import CIRCUITS, FABRICS, MAPPERS, PLACERS, REGISTRIES
+    def test_builtin_registries_are_populated(self):
+        from repro.pipeline import (
+            CIRCUITS,
+            FABRICS,
+            MAPPERS,
+            PLACERS,
+            REGISTRIES,
+            SCHEDULERS,
+            TECHNOLOGIES,
+        )
 
-        assert set(REGISTRIES) == {"mappers", "placers", "fabrics", "circuits"}
+        assert set(REGISTRIES) == {
+            "mappers", "placers", "fabrics", "circuits", "schedulers", "technologies",
+        }
         assert {"qspr", "quale", "qpos", "ideal"} <= set(MAPPERS.names())
         assert {"mvfb", "monte-carlo", "center"} <= set(PLACERS.names())
         assert {"quale", "small", "linear", "grid"} <= set(FABRICS.names())
         assert {"[[5,1,3]]", "[[23,1,7]]", "ghz", "random"} <= set(CIRCUITS.names())
+        assert {"qspr", "quale-alap", "qpos-dependents", "qpos-path-delay"} <= set(
+            SCHEDULERS.names()
+        )
+        assert {"paper", "legacy", "fast-turn", "slow-2q", "cap-1"} <= set(
+            TECHNOLOGIES.names()
+        )
 
     def test_placer_typo_gets_suggestion(self):
         from repro.pipeline import PLACERS

@@ -102,6 +102,38 @@ class TestEndToEnd:
         )
         assert [job["status"] for job in finished] == ["done", "done"]
 
+    def test_scenario_grid_runs_end_to_end(self, client):
+        """A technologies × schedulers × features grid over HTTP to done."""
+        submission = client.submit(
+            {
+                "sweep": {
+                    "circuits": "[[5,1,3]]",
+                    "placers": "center",
+                    "fabrics": [{"junction_rows": 4, "junction_cols": 4}],
+                    "technologies": "paper,fast-turn",
+                    "schedulers": "qspr,qpos-dependents",
+                    "turn_aware": "1,0",
+                }
+            }
+        )
+        assert submission["created"] == 8  # 2 tech x 2 sched x 2 features
+        finished = client.wait(
+            [job["id"] for job in submission["jobs"]], timeout=240.0
+        )
+        assert all(job["status"] == "done" for job in finished), finished
+        results = {
+            (job["spec"]["technology"], job["spec"]["scheduler"],
+             job["spec"]["turn_aware"]): client.result(job["id"])["result"]
+            for job in finished
+        }
+        assert len(results) == 8
+        # fast-turn delays strictly beat the paper PMD on every cell.
+        for scheduler in ("qspr", "qpos-dependents"):
+            for turn_aware in (True, False):
+                fast = results[("fast-turn", scheduler, turn_aware)]
+                paper = results[("paper", scheduler, turn_aware)]
+                assert fast["latency"] < paper["latency"]
+
     def test_jobs_listing_honours_limit(self, service, client):
         service.store.request_shutdown()  # keep everything queued
         client.submit(

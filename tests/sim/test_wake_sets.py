@@ -1,0 +1,128 @@
+"""Busy-queue wake-sets: unit behaviour and engine-level equivalence.
+
+The wake-set retry policy must never change *what* the simulator computes —
+latencies, schedules, placements, movement and congestion are byte-equal with
+the feature on or off; only the number of futile router calls (and therefore
+the routing-core counters) drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.qecc import qecc_encoder
+from repro.errors import SchedulingError
+from repro.fabric.builder import small_fabric
+from repro.scheduling.busy_queue import BusyQueue
+from repro.sim.engine import FabricSimulator
+from repro.placement.center import CenterPlacer
+
+
+class TestBusyQueueWakeSets:
+    def test_block_on_requires_parked(self):
+        queue = BusyQueue()
+        with pytest.raises(SchedulingError):
+            queue.block_on(3, [7])
+
+    def test_blocked_instruction_needs_no_retry_until_woken(self):
+        queue = BusyQueue()
+        queue.park(3, 1.0)
+        assert queue.needs_retry(3)  # no blockers recorded yet
+        queue.block_on(3, [7, 9])
+        assert not queue.needs_retry(3)
+        assert queue.wake(7) == [3]
+        assert queue.needs_retry(3)
+
+    def test_wake_only_touches_matching_instructions(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.park(2, 0.0)
+        queue.block_on(1, [7])
+        queue.block_on(2, [8])
+        assert queue.wake(7) == [1]
+        assert queue.needs_retry(1)
+        assert not queue.needs_retry(2)
+
+    def test_wake_on_unknown_resource_is_a_noop(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.block_on(1, [7])
+        assert queue.wake(42) == []
+        assert not queue.needs_retry(1)
+
+    def test_wake_all_invalidates_everything(self):
+        queue = BusyQueue()
+        for index in (1, 2):
+            queue.park(index, 0.0)
+            queue.block_on(index, [index])
+        queue.wake_all()
+        assert queue.needs_retry(1) and queue.needs_retry(2)
+
+    def test_reblocking_replaces_the_wake_set(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.block_on(1, [7])
+        queue.block_on(1, [8])  # re-blocked on a different channel
+        assert queue.wake(7) == []  # the stale reverse entry must not wake it
+        assert not queue.needs_retry(1)
+        assert queue.wake(8) == [1]
+
+    def test_remove_clears_blockers(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.block_on(1, [7])
+        queue.remove(1)
+        assert queue.wake(7) == []
+
+    def test_empty_block_set_waits_for_wake_all(self):
+        queue = BusyQueue()
+        queue.park(1, 0.0)
+        queue.block_on(1, [])  # blocked by trap occupancy, not channels
+        assert not queue.needs_retry(1)
+        queue.wake_all()
+        assert queue.needs_retry(1)
+
+
+def _run(circuit_name: str, *, busy_wake_sets: bool):
+    circuit = qecc_encoder(circuit_name)
+    fabric = small_fabric(junction_rows=6, junction_cols=6)
+    sim = FabricSimulator(circuit, fabric, busy_wake_sets=busy_wake_sets)
+    placement = CenterPlacer(fabric).place(circuit)
+    return sim.run(placement)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("circuit", ["[[9,1,3]]", "[[23,1,7]]"])
+    def test_results_identical_with_fewer_router_calls(self, circuit):
+        eager = _run(circuit, busy_wake_sets=False)
+        lazy = _run(circuit, busy_wake_sets=True)
+
+        assert lazy.latency == eager.latency
+        assert lazy.schedule == eager.schedule
+        assert lazy.total_moves == eager.total_moves
+        assert lazy.total_turns == eager.total_turns
+        assert lazy.total_congestion_delay == eager.total_congestion_delay
+        assert lazy.busy_queue_entries == eager.busy_queue_entries
+        assert lazy.final_placement.as_dict() == eager.final_placement.as_dict()
+        for index, record in eager.records.items():
+            other = lazy.records[index]
+            assert (other.issue_time, other.finish_time, other.target_trap) == (
+                record.issue_time, record.finish_time, record.target_trap
+            )
+
+        # The congested runs park instructions; wake-sets must skip at least
+        # some futile retries there (that is the point of the fix).
+        assert eager.busy_queue_entries > 0
+        assert lazy.routing_stats.dijkstra_calls < eager.routing_stats.dijkstra_calls
+
+    def test_wake_sets_disabled_for_forced_order(self):
+        circuit = qecc_encoder("[[5,1,3]]")
+        fabric = small_fabric(junction_rows=6, junction_cols=6)
+        baseline = FabricSimulator(circuit, fabric, busy_wake_sets=False)
+        placement = CenterPlacer(fabric).place(circuit)
+        order = baseline.run(placement).schedule
+        forced = FabricSimulator(
+            circuit, fabric, forced_order=order, busy_wake_sets=True
+        )
+        outcome = forced.run(placement)
+        assert outcome.schedule == order
