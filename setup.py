@@ -37,6 +37,7 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.workloads": ["suite/*.qasm"]},
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [

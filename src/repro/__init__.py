@@ -22,6 +22,8 @@ The public API is organised by pipeline stage:
 * :mod:`repro.pipeline` — the composable mapping pipeline and the plugin
   registries (mappers, placers, fabrics, circuits) behind every name in the
   system.
+* :mod:`repro.workloads` — workload circuit families, JSONL traces and the
+  trace-replay load generator with JCT/SLO reporting.
 
 The one-call facade resolves every argument through the registries::
 
@@ -103,6 +105,22 @@ from repro.pipeline import (
     resolve_technology,
 )
 
+# Imported last (it builds on pipeline + runner): registers the workload
+# circuit families, the bundled QASM suite and the arrivals registry in
+# every process that imports repro.
+from repro.workloads import (
+    LoadReport,
+    Trace,
+    TraceReader,
+    TraceRecord,
+    TraceWriter,
+    read_trace,
+    replay_trace,
+    run_load,
+    synthesize_trace,
+    write_trace,
+)
+
 __all__ = [
     "TechnologyParams",
     "PAPER_TECHNOLOGY",
@@ -165,6 +183,16 @@ __all__ = [
     "SchedulingPolicy",
     "resolve_scheduler",
     "resolve_technology",
+    "LoadReport",
+    "Trace",
+    "TraceReader",
+    "TraceRecord",
+    "TraceWriter",
+    "read_trace",
+    "replay_trace",
+    "run_load",
+    "synthesize_trace",
+    "write_trace",
 ]
 
 __version__ = "1.0.0"

@@ -26,6 +26,11 @@ service workflows:
   completion), inspect and cancel jobs.
 * ``qspr-map cache`` — inspect (``info``) or age-out (``prune``) the on-disk
   result cache shared by sweeps and the service.
+* ``qspr-map replay`` / ``loadgen`` — the workload subsystem's load
+  generator: replay a JSONL trace (or synthesize one from an arrival
+  process) against a running service — or an ephemeral in-process one —
+  and report p50/p95/p99 JCT tails and SLO attainment (see
+  ``docs/WORKLOADS.md``).
 
 Every mapper, placer, fabric, circuit, scheduler and technology name on the
 command line is resolved through the :mod:`repro.pipeline` registries, so
@@ -52,6 +57,10 @@ Examples::
     qspr-map jobs --status queued
     qspr-map cache info --cache-dir sweep-out/cache
     qspr-map cache prune --cache-dir sweep-out/cache --max-age-days 30
+    qspr-map run --benchmark "random-layered:q=8:d=12:seed=3" --placer center
+    qspr-map loadgen --arrival poisson --rate 5 --jobs 20 --seed 1 --slo 30
+    qspr-map loadgen --in-process --time-scale 20 --trace-out trace.jsonl
+    qspr-map replay trace.jsonl --time-scale 10 --out jct-report.json
 """
 
 from __future__ import annotations
@@ -98,6 +107,7 @@ from repro.viz.trace_render import render_gantt
 _COMMANDS = (
     "run", "sweep", "report", "bench", "list",
     "serve", "submit", "status", "jobs", "cancel", "cache",
+    "replay", "loadgen",
 )
 
 #: Default URL of the service client subcommands.
@@ -159,8 +169,8 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument("qasm", nargs="?", help="path to a QASM file")
     source.add_argument(
         "--benchmark",
-        choices=list(CIRCUITS.names()),
-        help="use a registered benchmark circuit (see `qspr-map list`)",
+        help="a registered benchmark circuit (see `qspr-map list`), "
+        'optionally parameterised like "random-layered:q=8:d=12:seed=3"',
     )
     parser.add_argument(
         "--mapper",
@@ -229,6 +239,13 @@ def _add_sweep_axis_arguments(
         "--random-seeds", default="0", help="comma-separated random seeds (default: 0)"
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="single deterministic seed for the whole grid (shorthand that "
+        "overrides --random-seeds)",
+    )
+    parser.add_argument(
         "--technologies",
         default="paper",
         help="comma-separated registered technologies (PMDs), e.g. "
@@ -267,6 +284,49 @@ def _add_sweep_axis_arguments(
     _add_fabric_arguments(parser)
 
 
+def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
+    """The replay-engine flags shared by ``replay`` and ``loadgen``."""
+    parser.add_argument(
+        "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+    parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="boot an ephemeral in-process service instead of using --url",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads of the --in-process service (default: 2)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="time-compression factor: 10 replays ten times faster than "
+        "recorded (default: 1)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="JCT target in seconds; the report grades done jobs against it",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="deadline for waiting on completions after the last submission "
+        "(default: 600)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the full JSON report (per-job outcomes included) to this path",
+    )
+
+
 def _sweep_from_args(args: argparse.Namespace) -> Sweep:
     """Build the declarative grid from parsed axis/fabric flags.
 
@@ -285,7 +345,11 @@ def _sweep_from_args(args: argparse.Namespace) -> Sweep:
             "mappers": args.mappers,
             "placers": args.placers,
             "num_seeds": _int_axis(args.seeds, "--seeds"),
-            "random_seeds": _int_axis(args.random_seeds, "--random-seeds"),
+            "random_seeds": (
+                (args.seed,)
+                if getattr(args, "seed", None) is not None
+                else _int_axis(args.random_seeds, "--random-seeds")
+            ),
             "fabrics": (fabric,),
             "technologies": args.technologies,
             "schedulers": args.schedulers,
@@ -466,6 +530,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
     )
 
+    replay_parser = subparsers.add_parser(
+        "replay", help="replay a workload trace against a mapping service"
+    )
+    replay_parser.add_argument("trace", help="path of a JSONL trace file")
+    _add_load_arguments(replay_parser)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="synthesize a workload trace and replay it in one step"
+    )
+    loadgen_parser.add_argument(
+        "--arrival",
+        default="poisson",
+        help="registered arrival process (poisson, uniform, bursty, ramp; "
+        "default: poisson)",
+    )
+    loadgen_parser.add_argument(
+        "--rate",
+        type=float,
+        default=5.0,
+        help="mean arrival rate in jobs per second (default: 5)",
+    )
+    loadgen_parser.add_argument(
+        "--jobs", type=int, default=20, help="number of jobs (default: 20)"
+    )
+    loadgen_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed of arrivals and per-job circuit seeds (default: 0)",
+    )
+    loadgen_parser.add_argument(
+        "--circuits",
+        default="random-layered:q=6:d=6",
+        help="comma-separated circuit names the jobs cycle through "
+        '(default: "random-layered:q=6:d=6")',
+    )
+    loadgen_parser.add_argument(
+        "--mapper",
+        choices=list(MAPPERS.names()),
+        default="qspr",
+        help="mapper of every job (default: qspr)",
+    )
+    loadgen_parser.add_argument(
+        "--placer",
+        choices=list(PLACERS.names()),
+        default="center",
+        help="placer of every job (default: center — load tests measure the "
+        "service, not placement quality)",
+    )
+    loadgen_parser.add_argument(
+        "--technology",
+        default="paper",
+        help="registered technology (PMD) of every job (default: paper)",
+    )
+    loadgen_parser.add_argument(
+        "--scheduler",
+        default="qspr",
+        help="registered scheduling policy of every job (default: qspr)",
+    )
+    _add_fabric_arguments(loadgen_parser)
+    loadgen_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write the synthesized trace to this JSONL path",
+    )
+    _add_load_arguments(loadgen_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune the on-disk result cache"
     )
@@ -488,7 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load_circuit(args: argparse.Namespace):
     if args.benchmark:
-        return resolve_circuit(args.benchmark)
+        # --seed reaches seed-accepting circuit factories too (random
+        # families), unless the parameterised name already pins a seed.
+        from repro.pipeline.circuits import seeded_circuit_name
+
+        return resolve_circuit(seeded_circuit_name(args.benchmark, args.seed))
     path = Path(args.qasm)
     if not path.exists():
         raise ReproError(f"QASM file not found: {path}")
@@ -748,6 +883,71 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_load(trace, args: argparse.Namespace) -> int:
+    """Replay ``trace`` per the shared load flags and print/write the report."""
+    from repro.workloads import format_report, run_load
+
+    report = run_load(
+        trace,
+        url=None if args.in_process else args.url,
+        workers=args.workers,
+        time_scale=args.time_scale,
+        slo_seconds=args.slo,
+        timeout=args.timeout,
+    )
+    print(format_report(report))
+    if args.out:
+        report.write(args.out)
+        print(f"report: {args.out}")
+    return 1 if report.failed else 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace file (``qspr-map replay``)."""
+    from repro.workloads import read_trace
+
+    path = Path(args.trace)
+    if not path.exists():
+        raise ReproError(f"trace file not found: {path}")
+    trace = read_trace(path)
+    print(f"replaying {len(trace)} jobs over {trace.duration / args.time_scale:.1f} s")
+    return _run_load(trace, args)
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    """Synthesize a trace and replay it (``qspr-map loadgen``)."""
+    from repro.workloads import synthesize_trace, write_trace
+
+    trace = synthesize_trace(
+        arrival=args.arrival,
+        rate=args.rate,
+        jobs=args.jobs,
+        seed=args.seed,
+        circuits=parse_axis(args.circuits),
+        spec_defaults={
+            "mapper": args.mapper,
+            "placer": args.placer,
+            "num_seeds": 1,
+            "technology": args.technology,
+            "scheduler": args.scheduler,
+            "fabric": FabricCell(
+                junction_rows=args.fabric_rows,
+                junction_cols=args.fabric_cols,
+                channel_length=args.channel_length,
+            ),
+        },
+    )
+    if args.trace_out:
+        write_trace(trace, args.trace_out)
+        print(f"trace: {args.trace_out}")
+    print(
+        f"synthesized {len(trace)} {args.arrival} jobs at {args.rate:g}/s "
+        f"(seed {args.seed}), replaying over "
+        f"{trace.duration / args.time_scale:.1f} s"
+    )
+    return _run_load(trace, args)
+
+
 def _command_report(args: argparse.Namespace) -> int:
     path = Path(args.results)
     if not path.exists():
@@ -788,6 +988,8 @@ def main(argv: list[str] | None = None) -> int:
         "jobs": _command_jobs,
         "cancel": _command_cancel,
         "cache": _command_cache,
+        "replay": _command_replay,
+        "loadgen": _command_loadgen,
     }[args.command]
     try:
         return handler(args)

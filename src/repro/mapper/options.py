@@ -78,6 +78,13 @@ class MapperOptions:
             Results are identical; only futile router calls (and therefore
             the routing-core counters) drop.  Off by default to keep
             default-scenario reports byte-stable.
+        shared_route_cache: Consult (and feed) the process-wide idle-route
+            store shared across all runs on the same fabric, technology and
+            routing policy.  Idle-congestion route plans are pure functions
+            of geometry, so sharing them is safe; results are identical and
+            only the cache-hit counters change.  Off by default to keep
+            default-scenario reports byte-stable — service workers, which
+            map many jobs on one memoised fabric, turn it on.
     """
 
     technology: TechnologyParams = PAPER_TECHNOLOGY
@@ -96,6 +103,7 @@ class MapperOptions:
     random_seed: int = 0
     compiled_routing: bool = True
     busy_wake_sets: bool = False
+    shared_route_cache: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.placer, PlacerKind) and (
@@ -191,4 +199,6 @@ class MapperOptions:
             text += " core=legacy"
         if self.busy_wake_sets:
             text += " wake_sets=True"
+        if self.shared_route_cache:
+            text += " shared_routes=True"
         return text

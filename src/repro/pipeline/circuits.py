@@ -13,10 +13,24 @@ Entries are factories ``(**params) -> QuantumCircuit``.  Built-ins:
 the path of a QASM file, which keeps the CLI and
 :class:`~repro.runner.spec.ExperimentSpec` semantics: any string that is not
 a registered name is treated as a file path.
+
+Besides plain registry names, *parameterised* names select a factory **and**
+its parameters in one string: ``"random-layered:q=8:d=12:seed=3"`` is the
+``random-layered`` factory called with ``num_qubits=8, depth=12, seed=3``.
+The segments are colon-separated ``key=value`` pairs (comma-free on purpose,
+so parameterised names survive the CLI's comma-separated sweep axes and
+:func:`~repro.runner.spec.parse_axis`).  Values parse as int, then float,
+then bool, then plain string; short aliases (``q``/``w`` → ``num_qubits``,
+``d`` → ``depth``, ``g`` → ``num_gates``, ``l`` → ``locality``, ``s`` →
+``seed``, ``f`` → ``fill``, ``r`` → ``rounds``) keep trace files and command
+lines compact.  Because the whole configuration lives in the *name*, a
+parameterised circuit is picklable across worker processes and hashes into
+result-cache keys like any registered name.
 """
 
 from __future__ import annotations
 
+import inspect
 from pathlib import Path
 
 from repro.circuits.builders import ghz_circuit, qft_like_circuit, ripple_chain_circuit
@@ -76,24 +90,140 @@ def random(
     )
 
 
+#: Short spellings accepted in parameterised circuit names, expanded to the
+#: canonical factory keyword before the factory is called.
+PARAM_ALIASES: dict[str, str] = {
+    "q": "num_qubits",
+    "w": "num_qubits",
+    "qubits": "num_qubits",
+    "width": "num_qubits",
+    "d": "depth",
+    "g": "num_gates",
+    "gates": "num_gates",
+    "l": "locality",
+    "loc": "locality",
+    "s": "seed",
+    "f": "fill",
+    "r": "rounds",
+    "frac": "two_qubit_fraction",
+}
+
+
+def _coerce(value: str):
+    """Parse a parameter value: int, then float, then bool, then string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            pass
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return value
+
+
+def parse_circuit_name(name: str) -> "tuple[str, dict]":
+    """Split a circuit name into ``(base, params)``.
+
+    Plain registry names come back with empty params; a parameterised name
+    is only recognised when its base is a registered factory, so QASM paths
+    containing colons are never mis-parsed.
+
+    Example::
+
+        >>> parse_circuit_name("random:q=4:seed=7")
+        ('random', {'num_qubits': 4, 'seed': 7})
+        >>> parse_circuit_name("[[5,1,3]]")
+        ('[[5,1,3]]', {})
+    """
+    if name in CIRCUITS or ":" not in name:
+        return name, {}
+    base, *segments = name.split(":")
+    if base not in CIRCUITS:
+        return name, {}
+    params: dict = {}
+    for segment in segments:
+        key, equals, value = segment.partition("=")
+        key = key.strip()
+        if not equals or not key:
+            raise CircuitError(
+                f"bad parameter segment {segment!r} in circuit name {name!r}; "
+                "expected key=value"
+            )
+        params[PARAM_ALIASES.get(key, key)] = _coerce(value.strip())
+    return base, params
+
+
+def is_circuit_name(name: str) -> bool:
+    """Whether ``name`` resolves through the registry (plain or parameterised)."""
+    base, _ = parse_circuit_name(name)
+    return base in CIRCUITS
+
+
+def circuit_accepts_param(name: str, param: str) -> bool:
+    """Whether the factory behind ``name`` takes a keyword named ``param``.
+
+    False for unregistered names, for factories whose signature cannot be
+    inspected, and for QASM paths — callers use this to decide whether e.g.
+    a ``--seed`` flag can be threaded into the circuit itself.
+    """
+    base, _ = parse_circuit_name(name)
+    if base not in CIRCUITS:
+        return False
+    try:
+        signature = inspect.signature(CIRCUITS.get(base))
+    except (TypeError, ValueError):  # builtins, C callables
+        return False
+    return param in signature.parameters
+
+
+def seeded_circuit_name(name: str, seed: int) -> str:
+    """Thread ``seed`` into a registered circuit name, if the factory takes one.
+
+    A seed already embedded in the name wins; names whose factory has no
+    ``seed`` parameter (the QECC suite, QASM ingests, …) come back unchanged.
+
+    Example::
+
+        >>> seeded_circuit_name("random:q=4", 7)
+        'random:q=4:seed=7'
+        >>> seeded_circuit_name("[[5,1,3]]", 7)
+        '[[5,1,3]]'
+    """
+    base, params = parse_circuit_name(name)
+    if "seed" in params or not circuit_accepts_param(name, "seed"):
+        return name
+    return f"{name}:seed={seed}"
+
+
 def resolve_circuit(circuit: "QuantumCircuit | str", **params) -> QuantumCircuit:
     """Turn a circuit, registry name or QASM path into a live circuit.
 
     Args:
         circuit: A :class:`QuantumCircuit` (returned unchanged), a registry
-            name (``"[[5,1,3]]"``, ``"ghz"``, a plugin name, …) or the path
+            name (``"[[5,1,3]]"``, ``"ghz"``, a plugin name, …), a
+            parameterised name (``"random-layered:q=8:d=12"``) or the path
             of a QASM file.
         params: Keyword parameters forwarded to the registry factory (e.g.
-            ``num_qubits`` for ``ghz``).
+            ``num_qubits`` for ``ghz``).  Parameters embedded in the name
+            take precedence over these keyword defaults.
 
     Raises:
         CircuitError: When the string is neither a registered name nor an
-            existing file (the message carries the did-you-mean suggestion).
+            existing file (the message carries the did-you-mean suggestion),
+            or when the factory rejects the given parameters.
     """
     if isinstance(circuit, QuantumCircuit):
         return circuit
-    if circuit in CIRCUITS:
-        return CIRCUITS.get(circuit)(**params)
+    base, name_params = parse_circuit_name(circuit)
+    if base in CIRCUITS:
+        merged = {**params, **name_params}
+        try:
+            return CIRCUITS.get(base)(**merged)
+        except TypeError as exc:
+            raise CircuitError(
+                f"circuit {base!r} rejected parameters {merged!r}: {exc}"
+            ) from exc
     path = Path(circuit)
     if path.exists():
         from repro.qasm.parser import parse_qasm_file

@@ -183,6 +183,7 @@ class PipelineContext:
             barrier_scheduling=options.barrier_scheduling and forced_order is None,
             compiled_routing=options.compiled_routing,
             busy_wake_sets=options.busy_wake_sets,
+            shared_route_cache=options.shared_route_cache,
         )
 
     def simulate(self, placement: Placement) -> SimulationOutcome:

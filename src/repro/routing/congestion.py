@@ -55,6 +55,18 @@ class CongestionTracker:
         between runs.
         """
         return self._epoch
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether no channel currently holds a reservation.
+
+        Idle-congestion route plans depend only on the fabric geometry and
+        the routing policy, so consumers (the shared idle-route store) may
+        reuse them across trackers — something epoch tags, which are unique
+        per tracker, can never express.
+        """
+        return not self._occupancy
+
     def occupancy(self, channel_id: ChannelId) -> int:
         """Current number of qubits using (or booked to use) ``channel_id``."""
         return self._occupancy[channel_id]

@@ -186,10 +186,15 @@ class Router:
         *,
         use_compiled: bool = True,
         use_route_cache: bool = True,
+        shared_store=None,
     ) -> None:
         self.fabric = fabric
         self.technology = technology
         self.policy = policy
+        #: Optional cross-run idle-route store (see
+        #: :mod:`repro.routing.shared_cache`).  Consulted only while the
+        #: congestion tracker is idle, where plans are congestion-free.
+        self.shared_store = shared_store
         if use_compiled:
             # Both graphs are built once per fabric and shared by every
             # router on it (an MVFB search constructs one per pass).
@@ -265,9 +270,28 @@ class Router:
             if cached is not None and cached.qubit != qubit:
                 cached = replace(cached, qubit=qubit)
             return cached
+        shared = self.shared_store
+        idle = shared is not None and congestion.is_idle
+        if idle:
+            with shared.lock:
+                plan = shared.plans.get(key, _UNCACHED)
+            if plan is not _UNCACHED:
+                # A cross-run hit: count it as a cache hit, seed the local
+                # epoch-validated cache and rebind the qubit name.
+                self.stats.cache_hits += 1
+                with shared.lock:
+                    shared.hits += 1
+                self._route_cache[key] = plan
+                if plan is not None and plan.qubit != qubit:
+                    plan = replace(plan, qubit=qubit)
+                return plan
         self.stats.cache_misses += 1
         plan = self._plan_qubit_route_uncached(qubit, source_trap_id, target_trap_id, congestion)
         self._route_cache[key] = plan
+        if idle:
+            with shared.lock:
+                shared.plans[key] = plan
+                shared.stores += 1
         return plan
 
     def _plan_qubit_route_uncached(

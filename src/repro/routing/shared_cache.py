@@ -1,0 +1,74 @@
+"""Cross-run idle-route store.
+
+The per-:class:`~repro.routing.router.Router` route cache is validated by
+the congestion tracker's epoch, and epochs are unique per tracker — so the
+cache can never survive from one mapping run to the next, and a service
+worker that maps hundreds of jobs on the same memoised fabric recomputes
+the same routes over and over (the near-zero hit rates visible in
+``/metrics``).
+
+This module adds the one sharing layer that *is* sound across runs: plans
+computed under **idle** congestion (no channel holds a reservation) are pure
+functions of the fabric geometry, the technology's delay parameters and the
+routing policy.  :class:`SharedRouteStore` memoises those plans on the
+fabric instance, keyed by ``(technology, policy)`` — both frozen dataclasses
+— so every router on the same fabric/technology/policy triple shares one
+plan table for the lifetime of the fabric.
+
+The store is opt-in (``MapperOptions.shared_route_cache``); the default
+pipeline keeps its per-run cache only, so single-run reports stay
+byte-stable.  Service workers enable it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+from repro.fabric.components import TrapId
+from repro.fabric.fabric import Fabric
+from repro.routing.path import RoutePlan
+from repro.routing.router import RoutingPolicy
+from repro.technology import TechnologyParams
+
+
+@dataclass
+class SharedRouteStore:
+    """Idle-congestion route plans shared by every run on one fabric.
+
+    Attributes:
+        plans: ``(source trap, target trap) -> plan`` computed under idle
+            congestion (``None`` marks an unroutable pair).  Plans are
+            frozen; consumers rebind the qubit name on retrieval.
+        hits: Number of plans served from the store.
+        stores: Number of plans written into the store.
+    """
+
+    plans: "dict[tuple[TrapId, TrapId], RoutePlan | None]" = field(default_factory=dict)
+    hits: int = 0
+    stores: int = 0
+    #: Guards concurrent access from a thread-mode worker pool.  Plan
+    #: computation stays outside the lock; a racing double-compute writes
+    #: the identical plan twice, which is harmless.
+    lock: Lock = field(default_factory=Lock, repr=False)
+
+    @classmethod
+    def shared(
+        cls,
+        fabric: Fabric,
+        *,
+        technology: TechnologyParams,
+        policy: RoutingPolicy,
+    ) -> "SharedRouteStore":
+        """The fabric's store for ``(technology, policy)``, created on demand.
+
+        Memoised on the fabric instance itself (like the fabric's routing
+        graphs), so a worker's per-geometry fabric memo automatically scopes
+        the store's lifetime.
+        """
+        stores = fabric.__dict__.setdefault("_shared_route_stores", {})
+        key = (technology, policy)
+        store = stores.get(key)
+        if store is None:
+            store = stores[key] = cls()
+        return store

@@ -205,6 +205,67 @@ def measure_speedup(circuit_name: str, fabric_name: str = "quale", repeats: int 
     }
 
 
+#: Parameters of the tracked loadgen smoke case: a 20-job Poisson trace
+#: replayed at high time compression against an in-process service, so the
+#: measured numbers are service-path economics (queueing, worker dispatch,
+#: store round-trips), not raw mapping speed.
+LOADGEN_CASE = {
+    "label": "loadgen-smoke",
+    "arrival": "poisson",
+    "rate": 5.0,
+    "jobs": 20,
+    "seed": 1,
+    "time_scale": 50.0,
+    "workers": 2,
+    "circuits": ("random-layered:q=5:d=4",),
+    "fabric": {"junction_rows": 4, "junction_cols": 4},
+}
+
+
+def measure_loadgen(case: dict = LOADGEN_CASE) -> dict:
+    """Replay the tracked loadgen case in-process; returns its flat record.
+
+    The record carries completed/failed counts, jobs/sec and the p50/p95/p99
+    JCT tails — the service-level numbers BENCH_perf.json starts tracking
+    alongside the routing-kernel timings.
+    """
+    # Imported lazily: the workloads package sits above the runner in the
+    # layering, so a module-level import would be circular via repro.runner.
+    from repro.workloads import run_load, synthesize_trace
+
+    trace = synthesize_trace(
+        arrival=case["arrival"],
+        rate=case["rate"],
+        jobs=case["jobs"],
+        seed=case["seed"],
+        circuits=case["circuits"],
+        spec_defaults={"placer": "center", "fabric": dict(case["fabric"])},
+    )
+    report = run_load(
+        trace,
+        workers=case["workers"],
+        time_scale=case["time_scale"],
+        slo_seconds=None,
+    )
+    payload = report.to_dict()
+    return {
+        "label": case["label"],
+        "arrival": case["arrival"],
+        "rate": case["rate"],
+        "jobs": payload["jobs"],
+        "completed": payload["completed"],
+        "failed": payload["failed"],
+        "seed": case["seed"],
+        "time_scale": case["time_scale"],
+        "workers": case["workers"],
+        "wall_seconds": payload["wall_seconds"],
+        "jobs_per_second": payload["jobs_per_second"],
+        "jct_p50_seconds": payload["latencies"]["jct_seconds"].get("p50"),
+        "jct_p95_seconds": payload["latencies"]["jct_seconds"].get("p95"),
+        "jct_p99_seconds": payload["latencies"]["jct_seconds"].get("p99"),
+    }
+
+
 def run_perf_suite(
     *,
     quick: bool = False,
@@ -232,6 +293,7 @@ def run_perf_suite(
         "python": platform.python_version(),
         "cases": [time_case(case, repeats) for case in cases],
         "speedups": [measure_speedup(name, repeats=repeats) for name in speedup_circuits],
+        "loadgen": measure_loadgen(),
     }
     if out is not None:
         path = Path(out)
@@ -285,6 +347,24 @@ def format_perf_report(report: dict) -> str:
             speedup_rows,
         )
     )
+    loadgen = report.get("loadgen")
+    if loadgen:
+        tables.append(
+            format_comparison_table(
+                "Service loadgen (in-process replay of the smoke trace)",
+                ["case", "jobs", "done", "jobs/s", "p50 JCT (s)", "p99 JCT (s)"],
+                [
+                    (
+                        loadgen["label"],
+                        loadgen["jobs"],
+                        loadgen["completed"],
+                        round(loadgen["jobs_per_second"], 2),
+                        round(loadgen["jct_p50_seconds"], 3),
+                        round(loadgen["jct_p99_seconds"], 3),
+                    )
+                ],
+            )
+        )
     return "\n\n".join(tables)
 
 

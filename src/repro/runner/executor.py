@@ -29,7 +29,7 @@ from repro.runner.spec import ExperimentSpec, Sweep
 ProgressCallback = Callable[[int, int, CellResult], None]
 
 
-def map_spec(spec: ExperimentSpec, *, fabric=None):
+def map_spec(spec: ExperimentSpec, *, fabric=None, shared_route_cache: bool = False):
     """Run one declarative spec end to end and return the full mapping result.
 
     This is the shared task-execution core of both the sweep runner and the
@@ -46,11 +46,16 @@ def map_spec(spec: ExperimentSpec, *, fabric=None):
             graphs, so a long-lived worker can pass the same fabric to every
             job that targets the same geometry and pay the graph-compilation
             cost once.
+        shared_route_cache: Opt the run into the cross-job idle-route store
+            (see :mod:`repro.routing.shared_cache`).  Pointless without a
+            long-lived ``fabric`` — the store is memoised on the fabric
+            instance — which is why the sweep runner leaves it off and the
+            service workers turn it on.
     """
     circuit = spec.build_circuit()
     if fabric is None:
         fabric = spec.build_fabric()
-    mapper = spec.build_mapper()
+    mapper = spec.build_mapper(shared_route_cache=shared_route_cache)
     return mapper.map(circuit, fabric)
 
 

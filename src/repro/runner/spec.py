@@ -240,10 +240,15 @@ class ExperimentSpec:
 
     @property
     def is_registered_circuit(self) -> bool:
-        """Whether :attr:`circuit` names any registered circuit (QECC or plugin)."""
-        from repro.pipeline.circuits import CIRCUITS
+        """Whether :attr:`circuit` names any registered circuit (QECC or plugin).
 
-        return self.circuit in CIRCUITS
+        Parameterised names (``"random-layered:q=8:seed=3"``) count as
+        registered: the whole configuration lives in the name, so they hash
+        into cache keys and travel to worker processes like plain names.
+        """
+        from repro.pipeline.circuits import is_circuit_name
+
+        return is_circuit_name(self.circuit)
 
     def normalized(self) -> "ExperimentSpec":
         """A copy with axes that do not affect this mapper canonicalised.
@@ -369,11 +374,14 @@ class ExperimentSpec:
             random_seed=self.random_seed,
         )
 
-    def build_mapper(self):
+    def build_mapper(self, *, shared_route_cache: bool = False):
         """Instantiate this cell's mapper through the mapper registry.
 
         Placer-driven mappers (QSPR and plugins) receive the cell's full
         :meth:`mapper_options`; the fixed built-in presets receive ``None``.
+        ``shared_route_cache=True`` opts those options into the cross-job
+        idle-route store (service workers use this; presets that build their
+        own options are unaffected).
 
         Example::
 
@@ -382,6 +390,8 @@ class ExperimentSpec:
         """
         if self.uses_placer_axes:
             options = self.mapper_options()
+            if shared_route_cache:
+                options = replace(options, shared_route_cache=True)
         elif self.technology != "paper":
             # The fixed presets ignore every knob except the PMD: hand them
             # the selected technology so e.g. a QUALE cell of a fast-turn

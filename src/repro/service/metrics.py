@@ -35,12 +35,17 @@ def service_metrics(store: JobStore, *, now: float | None = None) -> dict:
             (``build-qidg``, ``place``, ``simulate``, ``simulate.routing``…).
         ``routing_seconds``: Total time spent planning routes (from the flat
             per-job results).
+        ``route_cache``: Route-cache hits, misses and hit rate summed over
+            every done job — the gauge that shows the cross-job shared
+            route store working (hit rates were near zero before workers
+            shared idle-route plans).
         ``latency_us``: Summed mapped-circuit latency, for capacity math.
     """
     now = time.time() if now is None else now
     counts = store.counts()
     done = store.done_aggregates(now=now, window=THROUGHPUT_WINDOW)
     wall_samples = done["wall_samples"]
+    route_lookups = done["route_cache_hits"] + done["route_cache_misses"]
     return {
         "jobs": {**counts, "total": sum(counts.values())},
         "queue_depth": counts[QUEUED],
@@ -56,5 +61,10 @@ def service_metrics(store: JobStore, *, now: float | None = None) -> dict:
         },
         "stage_seconds": done["stage_totals"],
         "routing_seconds": done["routing_total"],
+        "route_cache": {
+            "hits": done["route_cache_hits"],
+            "misses": done["route_cache_misses"],
+            "hit_rate": done["route_cache_hits"] / route_lookups if route_lookups else 0.0,
+        },
         "latency_us": done["latency_total"],
     }

@@ -397,7 +397,8 @@ class JobStore:
         store has archived.  Returns ``finished``, ``finished_recently``
         (within ``window`` seconds of ``now``), ``cache_served``,
         ``wall_total`` / ``wall_samples``, ``routing_total``,
-        ``latency_total`` and the per-stage ``stage_totals`` mapping.
+        ``latency_total``, the route-cache counters ``route_cache_hits`` /
+        ``route_cache_misses`` and the per-stage ``stage_totals`` mapping.
         """
         now = time.time() if now is None else now
         with self._read() as conn:
@@ -414,7 +415,11 @@ class JobStore:
                     COALESCE(SUM(json_extract(result, '$.routing_seconds')), 0.0)
                         AS routing_total,
                     COALESCE(SUM(json_extract(result, '$.latency')), 0.0)
-                        AS latency_total
+                        AS latency_total,
+                    COALESCE(SUM(json_extract(result, '$.route_cache_hits')), 0)
+                        AS route_cache_hits,
+                    COALESCE(SUM(json_extract(result, '$.route_cache_misses')), 0)
+                        AS route_cache_misses
                 FROM jobs WHERE status = ?
                 """,
                 (now - window, DONE),

@@ -60,7 +60,10 @@ def execute_job(
         fabric = fabrics.get(spec.fabric)
         if fabric is None:
             fabric = fabrics[spec.fabric] = spec.build_fabric()
-    result = map_spec(spec, fabric=fabric)
+    # Workers map many jobs on one memoised fabric, so idle-congestion route
+    # plans are shared across jobs (the fix for the near-zero cache hit rate
+    # on repeated submissions); results are identical either way.
+    result = map_spec(spec, fabric=fabric, shared_route_cache=fabric is not None)
     return CellResult.from_mapping(spec, result), dict(result.stage_seconds)
 
 

@@ -148,6 +148,7 @@ class FabricSimulator:
         barrier_scheduling: bool = False,
         compiled_routing: bool = True,
         busy_wake_sets: bool = False,
+        shared_route_cache: bool = False,
     ) -> None:
         """Create a simulator.
 
@@ -187,6 +188,14 @@ class FabricSimulator:
                 number of (futile) router calls drops, so the routing-core
                 counters shrink.  Off by default to keep default-scenario
                 reports byte-stable; turn it on for large congested runs.
+            shared_route_cache: Let the router consult the cross-run
+                idle-route store memoised on the fabric (see
+                :mod:`repro.routing.shared_cache`): idle-congestion plans
+                are shared by every simulator on the same fabric,
+                technology and routing policy.  Results are identical; only
+                the cache-hit counters change.  Off by default to keep
+                default-scenario reports byte-stable; service workers,
+                which run many jobs on one memoised fabric, enable it.
         """
         self.circuit = circuit
         self.fabric = fabric
@@ -203,12 +212,20 @@ class FabricSimulator:
         self.levels: dict[int, int] | None = (
             alap_levels(self.qidg) if barrier_scheduling else None
         )
+        shared_store = None
+        if shared_route_cache and compiled_routing:
+            from repro.routing.shared_cache import SharedRouteStore
+
+            shared_store = SharedRouteStore.shared(
+                fabric, technology=technology, policy=routing_policy
+            )
         self.router = Router(
             fabric,
             technology,
             routing_policy,
             use_compiled=compiled_routing,
             use_route_cache=compiled_routing,
+            shared_store=shared_store,
         )
         self.priorities = self.scheduler.priorities(self.qidg, technology)
 

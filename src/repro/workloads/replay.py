@@ -1,0 +1,169 @@
+"""Trace replay: drive a mapping service at a trace's arrival times.
+
+The replay loop follows the open-loop load-generator shape of Firmament's
+``ReplaySimulation``: walk the trace in arrival order, sleep until each
+record's (time-scaled) arrival offset, submit it, and only afterwards wait
+for completions — so slow jobs never hold back later arrivals, and the
+service's queue actually builds up the way it would under real traffic.
+
+Latency accounting uses the *service's own* job timestamps
+(``created_at``/``started_at``/``finished_at``), not the client's clock, so
+the numbers are immune to client-side scheduling jitter; see
+:mod:`repro.workloads.report` for the vocabulary.
+
+Two entry points:
+
+* :func:`replay_trace` — replay against an existing
+  :class:`~repro.service.client.ServiceClient`;
+* :func:`run_load` — the one-call harness behind ``qspr-map replay`` and
+  ``qspr-map loadgen``: connect to a URL *or* boot an ephemeral in-process
+  service, replay, and return the :class:`~repro.workloads.report.LoadReport`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.workloads.report import JobOutcome, LoadReport
+from repro.workloads.trace import Trace
+
+#: Optional progress callback: ``callback(submitted, total)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+def replay_trace(
+    trace: Trace,
+    client,
+    *,
+    time_scale: float = 1.0,
+    slo_seconds: float | None = None,
+    timeout: float = 600.0,
+    progress: ProgressCallback | None = None,
+) -> LoadReport:
+    """Replay ``trace`` against ``client`` and measure every job.
+
+    Args:
+        trace: The workload to replay (records in arrival order).
+        client: A :class:`~repro.service.client.ServiceClient` (or anything
+            with its ``submit``/``wait`` surface).
+        time_scale: Time-compression factor: a record arriving at ``t``
+            seconds is submitted at ``t / time_scale`` — ``10`` replays ten
+            times faster than recorded.
+        slo_seconds: Optional JCT target the report grades jobs against.
+        timeout: Deadline for waiting on completions after the last submit.
+        progress: Optional callback invoked after every submission.
+
+    Returns:
+        The :class:`~repro.workloads.report.LoadReport` with one outcome per
+        trace record (records deduped to the same job share its timings).
+    """
+    if time_scale <= 0:
+        raise ReproError("time_scale must be positive")
+    start = time.monotonic()
+    submissions: list[tuple[float, str, str]] = []  # (scaled arrival, circuit, job id)
+    for index, record in enumerate(trace):
+        scaled = record.arrival_time / time_scale
+        delay = start + scaled - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        submitted = client.submit(record.spec)
+        submissions.append((scaled, record.spec.circuit, submitted["jobs"][0]["id"]))
+        if progress is not None:
+            progress(index + 1, len(trace))
+
+    unique_ids = list(dict.fromkeys(job_id for _, _, job_id in submissions))
+    finished = client.wait(unique_ids, timeout=timeout) if unique_ids else []
+    wall_seconds = time.monotonic() - start
+    jobs = {job["id"]: job for job in finished}
+
+    outcomes = []
+    for scaled, circuit, job_id in submissions:
+        job = jobs[job_id]
+        created = job.get("created_at")
+        started = job.get("started_at")
+        ended = job.get("finished_at")
+        queue = (started - created) if started is not None else 0.0
+        service = (ended - started) if started is not None and ended is not None else 0.0
+        jct = (ended - created) if ended is not None else 0.0
+        outcomes.append(
+            JobOutcome(
+                job_id=job_id,
+                circuit=circuit,
+                status=job["status"],
+                arrival_time=scaled,
+                queue_seconds=max(0.0, queue),
+                service_seconds=max(0.0, service),
+                jct_seconds=max(0.0, jct),
+                from_cache=started is None,
+            )
+        )
+    return LoadReport(
+        outcomes=tuple(outcomes),
+        slo_seconds=slo_seconds,
+        time_scale=time_scale,
+        wall_seconds=wall_seconds,
+        meta=dict(trace.meta),
+    )
+
+
+def run_load(
+    trace: Trace,
+    *,
+    url: str | None = None,
+    workers: int = 2,
+    time_scale: float = 1.0,
+    slo_seconds: float | None = None,
+    timeout: float = 600.0,
+    progress: ProgressCallback | None = None,
+) -> LoadReport:
+    """Replay ``trace`` against a URL or an ephemeral in-process service.
+
+    Args:
+        url: A running service's base URL.  ``None`` boots a throwaway
+            :class:`~repro.service.api.MappingService` (thread workers,
+            ephemeral port, store and cache in a temporary directory) for
+            the duration of the replay — the self-contained mode tests and
+            benchmarks use.
+        workers: Worker count of the ephemeral service (ignored with a URL).
+        time_scale, slo_seconds, timeout, progress: See :func:`replay_trace`.
+
+    Raises:
+        ReproError: When ``url`` is given but the service is unreachable.
+    """
+    # Imported lazily so `import repro.workloads` stays cheap and free of
+    # service/socket machinery until a replay actually runs.
+    from repro.service.client import ServiceClient
+
+    if url is not None:
+        client = ServiceClient(url)
+        client.health()  # fail fast with the client's connection error
+        return replay_trace(
+            trace,
+            client,
+            time_scale=time_scale,
+            slo_seconds=slo_seconds,
+            timeout=timeout,
+            progress=progress,
+        )
+
+    from repro.service.api import MappingService
+    from repro.service.config import ServiceConfig
+
+    with tempfile.TemporaryDirectory(prefix="qspr-loadgen-") as tmpdir:
+        config = ServiceConfig(port=0, workers=workers, use_threads=True).under(tmpdir)
+        service = MappingService(config)
+        service.start()
+        try:
+            return replay_trace(
+                trace,
+                ServiceClient(service.url),
+                time_scale=time_scale,
+                slo_seconds=slo_seconds,
+                timeout=timeout,
+                progress=progress,
+            )
+        finally:
+            service.shutdown()

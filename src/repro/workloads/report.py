@@ -1,0 +1,231 @@
+"""Load-test reporting: per-job latencies rolled up into JCT/SLO numbers.
+
+The replay engine produces one :class:`JobOutcome` per trace record; this
+module aggregates them into a :class:`LoadReport` — job counts, throughput,
+p50/p95/p99 tails of queue-wait, service-time and end-to-end JCT, and the
+fraction of jobs that met the SLO — serialisable as JSON and printable as
+the same style of table the sweep reports use.
+
+Latency vocabulary (all wall-clock seconds, from the service's own job
+timestamps):
+
+* **queue wait** — ``started_at - created_at``: time spent queued;
+* **service time** — ``finished_at - started_at``: time on a worker;
+* **JCT** (job completion time) — ``finished_at - created_at``: what the
+  submitter experiences end to end.
+
+Jobs answered straight from the result cache have no ``started_at``; their
+queue wait and service time are zero and their JCT is the (tiny)
+submit-to-done gap.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.tables import format_comparison_table
+from repro.errors import ReproError
+
+#: Schema tag of the JSON report; bump on incompatible changes.
+REPORT_SCHEMA = "qspr-load-report/1"
+
+#: The tail percentiles every latency metric reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: "list[float]", fraction: float) -> float:
+    """The ``fraction``-th percentile of ``values``, linearly interpolated.
+
+    Matches ``numpy.percentile``'s default (linear) method without needing
+    numpy.  Raises on an empty sample — a report over zero jobs has no
+    tails, and silently returning 0 would fake one.
+
+    Example::
+
+        >>> percentile([1.0, 2.0, 3.0, 4.0], 50.0)
+        2.5
+        >>> percentile([5.0], 99.0)
+        5.0
+    """
+    if not values:
+        raise ReproError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 100.0:
+        raise ReproError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * fraction / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The measured fate of one replayed job.
+
+    Attributes:
+        job_id: Service job id.
+        circuit: Circuit name of the submitted spec.
+        status: Terminal status (``done``/``failed``/``cancelled``).
+        arrival_time: The trace's (scaled) arrival offset, seconds.
+        queue_seconds: ``started_at - created_at`` (0 for cache-served jobs).
+        service_seconds: ``finished_at - started_at`` (0 for cache-served).
+        jct_seconds: ``finished_at - created_at``.
+        from_cache: Whether the result was served from the result cache.
+    """
+
+    job_id: str
+    circuit: str
+    status: str
+    arrival_time: float
+    queue_seconds: float
+    service_seconds: float
+    jct_seconds: float
+    from_cache: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "circuit": self.circuit,
+            "status": self.status,
+            "arrival_time": self.arrival_time,
+            "queue_seconds": self.queue_seconds,
+            "service_seconds": self.service_seconds,
+            "jct_seconds": self.jct_seconds,
+            "from_cache": self.from_cache,
+        }
+
+
+def _tails(values: "list[float]") -> dict:
+    return {f"p{fraction:g}": percentile(values, fraction) for fraction in PERCENTILES}
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The rolled-up result of one replay run.
+
+    Attributes:
+        outcomes: Per-job outcomes, in trace order.
+        slo_seconds: The JCT target jobs are graded against (``None``
+            disables SLO grading).
+        time_scale: The replay's time-compression factor.
+        wall_seconds: Wall-clock duration of the whole replay.
+        meta: The trace's metadata, carried through for provenance.
+    """
+
+    outcomes: tuple[JobOutcome, ...]
+    slo_seconds: float | None = None
+    time_scale: float = 1.0
+    wall_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        """Jobs that reached ``done``."""
+        return sum(1 for outcome in self.outcomes if outcome.status == "done")
+
+    @property
+    def failed(self) -> int:
+        """Jobs that ended in any terminal state other than ``done``."""
+        return len(self.outcomes) - self.completed
+
+    @property
+    def slo_attainment(self) -> float | None:
+        """Fraction of completed jobs with JCT within the SLO (None if ungraded)."""
+        if self.slo_seconds is None:
+            return None
+        done = [outcome for outcome in self.outcomes if outcome.status == "done"]
+        if not done:
+            return 0.0
+        met = sum(1 for outcome in done if outcome.jct_seconds <= self.slo_seconds)
+        return met / len(done)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed-job throughput over the replay's wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        """The JSON report (what ``--out`` writes)."""
+        done = [outcome for outcome in self.outcomes if outcome.status == "done"]
+        latencies = {
+            name: _tails([getattr(outcome, field_name) for outcome in done])
+            if done
+            else {}
+            for name, field_name in (
+                ("jct_seconds", "jct_seconds"),
+                ("queue_seconds", "queue_seconds"),
+                ("service_seconds", "service_seconds"),
+            )
+        }
+        return {
+            "schema": REPORT_SCHEMA,
+            "jobs": len(self.outcomes),
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_served": sum(1 for outcome in self.outcomes if outcome.from_cache),
+            "time_scale": self.time_scale,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "latencies": latencies,
+            "slo_seconds": self.slo_seconds,
+            "slo_attainment": self.slo_attainment,
+            "meta": self.meta,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def write(self, path: "Path | str") -> None:
+        """Write the JSON report to ``path``."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+def format_report(report: LoadReport) -> str:
+    """Human-readable summary table of a :class:`LoadReport`.
+
+    Example::
+
+        >>> print(format_report(LoadReport(outcomes=(), wall_seconds=1.0)))
+        ... # doctest: +ELLIPSIS
+        Load report
+        ...
+    """
+    done = [outcome for outcome in report.outcomes if outcome.status == "done"]
+    rows = []
+    for label, field_name in (
+        ("JCT", "jct_seconds"),
+        ("queue wait", "queue_seconds"),
+        ("service time", "service_seconds"),
+    ):
+        if done:
+            values = [getattr(outcome, field_name) for outcome in done]
+            rows.append(
+                [label]
+                + [f"{percentile(values, fraction):.3f}" for fraction in PERCENTILES]
+            )
+        else:
+            rows.append([label, "-", "-", "-"])
+    table = format_comparison_table(
+        "Load report",
+        ["latency [s]"] + [f"p{fraction:g}" for fraction in PERCENTILES],
+        rows,
+    )
+    lines = [
+        table,
+        "",
+        f"jobs        : {len(report.outcomes)} "
+        f"({report.completed} done, {report.failed} failed, "
+        f"{sum(1 for outcome in report.outcomes if outcome.from_cache)} from cache)",
+        f"wall clock  : {report.wall_seconds:.2f} s "
+        f"(time scale {report.time_scale:g}x)",
+        f"throughput  : {report.jobs_per_second:.2f} jobs/s",
+    ]
+    if report.slo_seconds is not None:
+        attainment = report.slo_attainment or 0.0
+        lines.append(
+            f"SLO         : {attainment * 100.0:.1f}% of done jobs "
+            f"within {report.slo_seconds:g} s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+# A 4-qubit ripple-carry-style interaction pattern (two 2-bit registers).
+# Carries propagate a0 -> b0 -> a1 -> b1, giving the sequential two-qubit
+# dependency chain that stresses routing on narrow fabrics.
+# No MEASURE on purpose (see bell.qasm).
+QUBIT a0,0
+QUBIT a1,0
+QUBIT b0,0
+QUBIT b1,0
+
+H a0
+H a1
+C-X a0,b0
+T b0
+C-X b0,a1
+C-X a1,b1
+T b1
+C-X a0,a1
+C-X b0,b1
+S b1
+C-X a1,b1

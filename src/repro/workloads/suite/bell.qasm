@@ -1,0 +1,8 @@
+# Bell-pair preparation.
+# No MEASURE on purpose: MVFB placement uncomputes the circuit, and
+# measurements cannot be uncomputed.
+QUBIT a,0
+QUBIT b,0
+
+H a
+C-X a,b

@@ -1,0 +1,260 @@
+"""The versioned JSONL workload-trace format.
+
+A trace is the replayable record of a workload: *when* each job arrives and
+*what* it asks for.  The on-disk format is line-oriented JSON:
+
+* line 1 — the header: ``{"format": "qspr-trace/1", "meta": {...}}``;
+* every further line — one record: ``{"arrival_time": <seconds from trace
+  start>, "spec": {...}}`` where ``spec`` is the full
+  :meth:`~repro.runner.spec.ExperimentSpec.to_dict` payload, scenario axes
+  included.
+
+All JSON is serialised canonically (sorted keys, no whitespace), and the
+synthesiser never stamps wall-clock time into ``meta`` — so a trace written
+twice from the same seed is **byte-identical**, which is what makes load
+reports reproducible and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+from repro.errors import ReproError
+from repro.pipeline.circuits import seeded_circuit_name
+from repro.runner.spec import ExperimentSpec
+from repro.workloads.arrivals import arrival_times
+
+#: Current trace format tag; bump on incompatible record changes.
+TRACE_FORMAT = "qspr-trace/1"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One job of a workload trace.
+
+    Attributes:
+        arrival_time: Seconds from trace start at which the job arrives.
+        spec: The experiment cell the job submits.
+    """
+
+    arrival_time: float
+    spec: ExperimentSpec
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {"arrival_time": self.arrival_time, "spec": self.spec.to_dict()}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            arrival_time=float(record["arrival_time"]),
+            spec=ExperimentSpec.from_dict(record["spec"]),
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A whole workload trace: metadata plus arrival-ordered records."""
+
+    records: tuple[TraceRecord, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = [record.arrival_time for record in self.records]
+        if any(time < 0 for time in times):
+            raise ReproError("trace arrival times must be non-negative")
+        if times != sorted(times):
+            raise ReproError("trace records must be sorted by arrival time")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Arrival offset of the last job (0 for an empty trace)."""
+        return self.records[-1].arrival_time if self.records else 0.0
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TraceWriter:
+    """Streams a trace to a file (or any text sink), record by record.
+
+    Records must be appended in arrival order; the header is written on
+    entry, so even a partially written trace is well-formed up to its last
+    line.
+
+    Example::
+
+        >>> import io
+        >>> sink = io.StringIO()
+        >>> with TraceWriter(sink, meta={"note": "demo"}) as writer:
+        ...     writer.append(TraceRecord(0.5, ExperimentSpec("ghz")))
+        >>> sink.getvalue().startswith('{"format":"qspr-trace/1"')
+        True
+    """
+
+    def __init__(self, sink: "IO[str] | Path | str", meta: dict | None = None) -> None:
+        self._owns_sink = isinstance(sink, (str, Path))
+        self._sink: IO[str] = (
+            Path(sink).open("w", encoding="utf-8") if self._owns_sink else sink
+        )
+        self._last_time = 0.0
+        self.count = 0
+        self._sink.write(
+            _canonical({"format": TRACE_FORMAT, "meta": meta or {}}) + "\n"
+        )
+
+    def append(self, record: TraceRecord) -> None:
+        """Write one record (must not precede the previous record)."""
+        if record.arrival_time < self._last_time:
+            raise ReproError(
+                f"trace records must be appended in arrival order "
+                f"({record.arrival_time} after {self._last_time})"
+            )
+        self._last_time = record.arrival_time
+        self.count += 1
+        self._sink.write(_canonical(record.to_dict()) + "\n")
+
+    def close(self) -> None:
+        """Flush and, when the writer opened the file itself, close it."""
+        self._sink.flush()
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Reads a JSONL trace; iterable over :class:`TraceRecord` instances.
+
+    Example::
+
+        >>> import io
+        >>> sink = io.StringIO()
+        >>> with TraceWriter(sink) as writer:
+        ...     writer.append(TraceRecord(1.0, ExperimentSpec("ghz")))
+        >>> reader = TraceReader(io.StringIO(sink.getvalue()))
+        >>> [record.spec.circuit for record in reader]
+        ['ghz']
+    """
+
+    def __init__(self, source: "IO[str] | Path | str") -> None:
+        self._owns_source = isinstance(source, (str, Path))
+        self._source: IO[str] = (
+            Path(source).open("r", encoding="utf-8") if self._owns_source else source
+        )
+        header_line = self._source.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"trace header is not valid JSON: {exc}") from exc
+        if not isinstance(header, dict) or "format" not in header:
+            raise ReproError("trace header is missing the 'format' tag")
+        if header["format"] != TRACE_FORMAT:
+            raise ReproError(
+                f"unsupported trace format {header['format']!r} "
+                f"(this build reads {TRACE_FORMAT!r})"
+            )
+        self.meta: dict = header.get("meta", {})
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for number, line in enumerate(self._source, start=2):
+            if not line.strip():
+                continue
+            try:
+                yield TraceRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ReproError(f"bad trace record on line {number}: {exc}") from exc
+        if self._owns_source:
+            self._source.close()
+
+    def read(self) -> Trace:
+        """Load the whole trace into memory."""
+        return Trace(records=tuple(self), meta=self.meta)
+
+
+def read_trace(source: "IO[str] | Path | str") -> Trace:
+    """Load a trace file in one call (see :class:`TraceReader`)."""
+    return TraceReader(source).read()
+
+
+def write_trace(trace: Trace, sink: "IO[str] | Path | str") -> None:
+    """Write a whole trace in one call (see :class:`TraceWriter`)."""
+    with TraceWriter(sink, meta=trace.meta) as writer:
+        for record in trace.records:
+            writer.append(record)
+
+
+def serialize_trace(trace: Trace) -> str:
+    """The trace's canonical text form (what :func:`write_trace` writes)."""
+    import io
+
+    sink = io.StringIO()
+    write_trace(trace, sink)
+    return sink.getvalue()
+
+
+def synthesize_trace(
+    *,
+    arrival: str = "poisson",
+    rate: float = 1.0,
+    jobs: int = 20,
+    seed: int = 0,
+    circuits: Sequence[str] = ("random-layered:q=6:d=6",),
+    spec_defaults: dict | None = None,
+) -> Trace:
+    """Build a synthetic trace from an arrival process and circuit names.
+
+    Jobs cycle through ``circuits``; any circuit whose factory accepts a
+    ``seed`` and whose name does not already pin one gets a per-job seed
+    drawn from the trace RNG, so (a) the synthesis is deterministic per
+    trace seed and (b) every job is a *distinct* spec — the service's
+    content-keyed dedup would otherwise collapse repeated submissions of an
+    identical circuit into one job.
+
+    Args:
+        arrival: Arrival-process name in :data:`~repro.workloads.arrivals.ARRIVALS`.
+        rate: Mean arrival rate in jobs per second.
+        jobs: Number of jobs.
+        seed: Master seed of arrivals and per-job circuit seeds.
+        circuits: Circuit names (registered, parameterised or QASM paths).
+        spec_defaults: Extra :class:`~repro.runner.spec.ExperimentSpec`
+            fields applied to every job (e.g. ``{"placer": "center"}``).
+    """
+    if not circuits:
+        raise ReproError("synthesize_trace needs at least one circuit")
+    times = arrival_times(arrival, rate=rate, jobs=jobs, seed=seed)
+    rng = random.Random(seed)
+    defaults = dict(spec_defaults or {})
+    if isinstance(defaults.get("fabric"), dict):
+        from repro.runner.spec import FabricCell
+
+        defaults["fabric"] = FabricCell(**defaults["fabric"])
+    records = []
+    for index, time in enumerate(times):
+        name = circuits[index % len(circuits)]
+        name = seeded_circuit_name(name, rng.randrange(2**31))
+        records.append(TraceRecord(time, ExperimentSpec(circuit=name, **defaults)))
+    meta = {
+        "arrival": arrival,
+        "rate": rate,
+        "jobs": jobs,
+        "seed": seed,
+        "circuits": list(circuits),
+    }
+    return Trace(records=tuple(records), meta=meta)

@@ -101,7 +101,8 @@ class TestBuiltinRegistries:
         )
 
         assert set(REGISTRIES) == {
-            "mappers", "placers", "fabrics", "circuits", "schedulers", "technologies",
+            "mappers", "placers", "fabrics", "circuits", "schedulers",
+            "technologies", "arrivals",
         }
         assert {"qspr", "quale", "qpos", "ideal"} <= set(MAPPERS.names())
         assert {"mvfb", "monte-carlo", "center"} <= set(PLACERS.names())

@@ -1,0 +1,59 @@
+"""Cross-job shared route cache: hits across jobs, identical results."""
+
+from __future__ import annotations
+
+from repro.runner import ExperimentSpec, FabricCell
+from repro.runner.executor import map_spec
+from repro.routing.shared_cache import SharedRouteStore
+from repro.service import execute_job
+
+TINY = FabricCell(junction_rows=4, junction_cols=4)
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    defaults = dict(circuit="[[5,1,3]]", placer="center", fabric=TINY)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSharedRouteStore:
+    def test_memoised_per_fabric_and_scenario(self):
+        from repro.fabric import small_fabric
+        from repro.scheduling import SchedulingPolicy
+        from repro.technology import PAPER_TECHNOLOGY, LEGACY_TECHNOLOGY
+
+        fabric = small_fabric()
+        policy = SchedulingPolicy()
+        a = SharedRouteStore.shared(fabric, technology=PAPER_TECHNOLOGY, policy=policy)
+        b = SharedRouteStore.shared(fabric, technology=PAPER_TECHNOLOGY, policy=policy)
+        assert a is b  # same fabric + scenario -> same store
+        c = SharedRouteStore.shared(fabric, technology=LEGACY_TECHNOLOGY, policy=policy)
+        assert c is not a  # a different PMD prices routes differently
+
+    def test_second_job_hits_routes_planned_by_the_first(self):
+        """The service worker fix: repeated submissions stop re-planning."""
+        fabrics = {}
+        first, _ = execute_job(_spec(), fabrics)
+        second, _ = execute_job(_spec(num_seeds=2), fabrics)
+
+        (fabric,) = fabrics.values()
+        (store,) = fabric.__dict__["_shared_route_stores"].values()
+        assert store.stores > 0
+        assert store.hits > 0  # job 2 reused idle-congestion plans of job 1
+        assert second.route_cache_hits > first.route_cache_hits
+
+    def test_shared_cache_does_not_change_results(self):
+        baseline = map_spec(_spec())
+        shared = map_spec(_spec(), shared_route_cache=True)
+        assert shared.latency == baseline.latency
+        assert shared.total_moves == baseline.total_moves
+        assert shared.total_turns == baseline.total_turns
+
+    def test_default_path_keeps_the_shared_store_off(self):
+        from repro.fabric import small_fabric
+
+        spec = _spec()
+        result = map_spec(spec)
+        assert result.latency > 0
+        # map_spec built its own fabric; nothing hung a shared store on it.
+        assert "_shared_route_stores" not in small_fabric().__dict__

@@ -1,0 +1,73 @@
+"""Arrival processes: determinism, shape, mean-rate sanity, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import ARRIVALS, arrival_times
+
+PROCESSES = sorted(ARRIVALS.names())
+
+
+class TestArrivalTimes:
+    @pytest.mark.parametrize("process", PROCESSES)
+    def test_same_seed_is_deterministic(self, process):
+        first = arrival_times(process, rate=5.0, jobs=50, seed=7)
+        second = arrival_times(process, rate=5.0, jobs=50, seed=7)
+        assert first == second
+
+    @pytest.mark.parametrize("process", PROCESSES)
+    def test_different_seeds_differ(self, process):
+        if process == "uniform":
+            pytest.skip("uniform spacing is closed-form, seed-free")
+        assert arrival_times(process, rate=5.0, jobs=50, seed=1) != arrival_times(
+            process, rate=5.0, jobs=50, seed=2
+        )
+
+    @pytest.mark.parametrize("process", PROCESSES)
+    def test_sorted_non_negative_and_counted(self, process):
+        times = arrival_times(process, rate=10.0, jobs=40, seed=3)
+        assert len(times) == 40
+        assert all(time >= 0 for time in times)
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("process", PROCESSES)
+    def test_mean_rate_is_sane(self, process):
+        """Over a long trace the empirical rate lands near the nominal one."""
+        jobs = 400
+        times = arrival_times(process, rate=10.0, jobs=jobs, seed=0)
+        empirical = jobs / times[-1]
+        assert 7.0 < empirical < 13.0, (process, empirical)
+
+    def test_uniform_is_exact(self):
+        assert arrival_times("uniform", rate=2.0, jobs=3) == [0.5, 1.0, 1.5]
+
+    def test_bursty_clusters_arrivals(self):
+        """Bursts produce many tiny gaps — far more than Poisson would."""
+        times = arrival_times("bursty", rate=10.0, jobs=80, seed=0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        tiny = sum(1 for gap in gaps if gap < 0.01)
+        assert tiny >= len(gaps) // 2, tiny
+
+    def test_ramp_gets_denser(self):
+        """The second half of a ramp arrives faster than the first half."""
+        times = arrival_times("ramp", rate=10.0, jobs=200, seed=0)
+        half = len(times) // 2
+        first_span = times[half - 1] - times[0]
+        second_span = times[-1] - times[half]
+        assert second_span < first_span
+
+    def test_rejects_bad_rate_jobs_and_name(self):
+        with pytest.raises(ReproError, match="rate must be positive"):
+            arrival_times("poisson", rate=0.0, jobs=5)
+        with pytest.raises(ReproError, match="at least 1"):
+            arrival_times("poisson", rate=1.0, jobs=0)
+        with pytest.raises(ReproError, match="poisson"):
+            arrival_times("poison", rate=1.0, jobs=5)  # did-you-mean
+
+    def test_registry_is_exposed(self):
+        from repro.pipeline import REGISTRIES
+
+        assert REGISTRIES["arrivals"] is ARRIVALS
+        assert {"poisson", "uniform", "bursty", "ramp"} <= set(ARRIVALS.names())

@@ -1,0 +1,96 @@
+"""Circuit families and QASM ingest: registry names, params, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.pipeline import CIRCUITS
+from repro.pipeline.circuits import (
+    parse_circuit_name,
+    resolve_circuit,
+    seeded_circuit_name,
+)
+from repro.workloads import BUNDLED_SUITE, ingest_qasm_file, layered_random_circuit
+
+
+class TestLayeredRandom:
+    def test_width_and_depth_knobs(self):
+        circuit = layered_random_circuit(6, 4, seed=1)
+        assert len(circuit.qubits) == 6
+        assert len(circuit.instructions) >= 4  # at least one gate per layer
+
+    def test_deterministic_per_seed(self):
+        a = layered_random_circuit(6, 6, seed=3)
+        b = layered_random_circuit(6, 6, seed=3)
+        assert [str(i) for i in a.instructions] == [str(i) for i in b.instructions]
+        c = layered_random_circuit(6, 6, seed=4)
+        assert [str(i) for i in a.instructions] != [str(i) for i in c.instructions]
+
+    def test_locality_bounds_operand_distance(self):
+        circuit = layered_random_circuit(10, 20, locality=2, seed=0)
+        order = {qubit.name: index for index, qubit in enumerate(circuit.qubits)}
+        two_qubit = [i for i in circuit.instructions if i.is_two_qubit]
+        assert two_qubit  # the family is two-qubit heavy by default
+        for instruction in two_qubit:
+            a, b = instruction.qubit_names
+            assert abs(order[a] - order[b]) <= 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CircuitError, match="at least 2"):
+            layered_random_circuit(1, 4)
+        with pytest.raises(CircuitError, match="fill"):
+            layered_random_circuit(4, 4, fill=0.0)
+
+
+class TestParameterisedNames:
+    def test_aliases_parse_into_factory_kwargs(self):
+        base, params = parse_circuit_name("random-layered:q=6:d=4:l=2")
+        assert base == "random-layered"
+        assert params == {"num_qubits": 6, "depth": 4, "locality": 2}
+
+    def test_resolve_builds_the_parameterised_circuit(self):
+        circuit = resolve_circuit("random-layered:q=5:d=3:seed=9")
+        assert len(circuit.qubits) == 5
+
+    def test_name_params_override_keyword_params(self):
+        wide = resolve_circuit("random-layered:q=7", num_qubits=3)
+        assert len(wide.qubits) == 7
+
+    def test_seeded_circuit_name_appends_only_when_possible(self):
+        assert seeded_circuit_name("random-layered:q=4", 7) == "random-layered:q=4:seed=7"
+        assert seeded_circuit_name("random-layered:seed=1", 7) == "random-layered:seed=1"
+        assert seeded_circuit_name("[[5,1,3]]", 7) == "[[5,1,3]]"  # no seed param
+        assert seeded_circuit_name("qasm/bell", 7) == "qasm/bell"
+
+    def test_unknown_parameter_is_a_circuit_error(self):
+        with pytest.raises(CircuitError):
+            resolve_circuit("random-layered:bogus_param=3")
+
+    def test_bad_segment_is_a_circuit_error(self):
+        with pytest.raises(CircuitError, match="key=value"):
+            parse_circuit_name("random-layered:notakv")
+
+
+class TestQasmIngest:
+    def test_bundled_suite_is_registered(self):
+        assert {"qasm/bell", "qasm/adder4"} <= set(BUNDLED_SUITE)
+        assert set(BUNDLED_SUITE) <= set(CIRCUITS.names())
+
+    def test_bundled_circuits_resolve(self):
+        bell = resolve_circuit("qasm/bell")
+        assert len(bell.qubits) == 2
+        adder = resolve_circuit("qasm/adder4")
+        assert len(adder.qubits) == 4
+        assert len(adder.instructions) > len(bell.instructions)
+
+    def test_ingest_registers_a_custom_file(self, tmp_path):
+        path = tmp_path / "tiny.qasm"
+        path.write_text("QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\n")
+        name = ingest_qasm_file(path)
+        assert name == "qasm/tiny"
+        assert len(resolve_circuit(name).instructions) == 2
+
+    def test_ingested_names_reject_parameters(self):
+        with pytest.raises(CircuitError):
+            resolve_circuit("qasm/bell", num_qubits=4)

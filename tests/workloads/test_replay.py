@@ -1,0 +1,132 @@
+"""Replay + loadgen end to end against an ephemeral in-process service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import (
+    JobOutcome,
+    LoadReport,
+    format_report,
+    percentile,
+    replay_trace,
+    run_load,
+    synthesize_trace,
+)
+
+SPEC_DEFAULTS = {
+    "placer": "center",
+    "fabric": {"junction_rows": 4, "junction_cols": 4},
+}
+
+
+def _smoke_trace(jobs=5, seed=1):
+    return synthesize_trace(
+        arrival="poisson", rate=50.0, jobs=jobs, seed=seed,
+        circuits=("random-layered:q=4:d=3",), spec_defaults=SPEC_DEFAULTS,
+    )
+
+
+class TestPercentile:
+    def test_linear_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        assert percentile([5.0], 99.0) == 5.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ReproError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ReproError, match="0, 100"):
+            percentile([1.0], 101.0)
+
+
+class TestLoadReport:
+    def _outcome(self, jct, status="done"):
+        return JobOutcome(
+            job_id="j", circuit="c", status=status, arrival_time=0.0,
+            queue_seconds=jct / 2, service_seconds=jct / 2, jct_seconds=jct,
+        )
+
+    def test_counts_throughput_and_slo(self):
+        report = LoadReport(
+            outcomes=(self._outcome(0.1), self._outcome(0.3),
+                      self._outcome(0.2, status="failed")),
+            slo_seconds=0.2, wall_seconds=2.0,
+        )
+        assert report.completed == 2 and report.failed == 1
+        assert report.jobs_per_second == 1.0
+        assert report.slo_attainment == 0.5  # one of two done jobs within SLO
+
+    def test_to_dict_has_all_tails(self):
+        payload = LoadReport(outcomes=(self._outcome(0.1),)).to_dict()
+        for metric in ("jct_seconds", "queue_seconds", "service_seconds"):
+            assert set(payload["latencies"][metric]) == {"p50", "p95", "p99"}
+        assert payload["slo_attainment"] is None  # ungraded without --slo
+
+    def test_format_report_mentions_the_tails(self):
+        text = format_report(
+            LoadReport(outcomes=(self._outcome(0.1),), slo_seconds=1.0,
+                       wall_seconds=1.0)
+        )
+        assert "p50" in text and "p99" in text
+        assert "SLO" in text and "100.0%" in text
+
+
+class TestEndToEnd:
+    def test_run_load_completes_every_job(self, tmp_path):
+        """The satellite acceptance: every job done, counts match the trace."""
+        trace = _smoke_trace(jobs=5)
+        report = run_load(trace, workers=2, time_scale=100.0, slo_seconds=60.0)
+        assert report.failed == 0
+        assert report.completed == len(report.outcomes) == len(trace)
+        assert all(outcome.status == "done" for outcome in report.outcomes)
+        assert report.slo_attainment == 1.0
+
+        payload = report.to_dict()
+        assert payload["jobs"] == len(trace)
+        assert payload["latencies"]["jct_seconds"]["p99"] > 0
+
+        out = tmp_path / "report.json"
+        report.write(out)
+        assert json.loads(out.read_text())["completed"] == len(trace)
+
+    def test_replay_against_running_service_accounts_dedup(self):
+        """Identical specs dedup to one service job but keep per-record rows."""
+        from repro.service import MappingService, ServiceClient, ServiceConfig
+        from repro.runner import ExperimentSpec, FabricCell
+        from repro.workloads import Trace, TraceRecord
+
+        spec = ExperimentSpec(
+            circuit="[[5,1,3]]", placer="center",
+            fabric=FabricCell(junction_rows=4, junction_cols=4),
+        )
+        trace = Trace(records=(TraceRecord(0.0, spec), TraceRecord(0.01, spec)))
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            config = ServiceConfig(port=0, use_threads=True).under(tmpdir)
+            service = MappingService(config)
+            service.start()
+            try:
+                report = replay_trace(
+                    trace, ServiceClient(service.url), time_scale=10.0
+                )
+            finally:
+                service.shutdown()
+        assert len(report.outcomes) == 2  # one row per trace record...
+        assert len({o.job_id for o in report.outcomes}) == 1  # ...same job
+        assert report.failed == 0
+
+    def test_rejects_non_positive_time_scale(self):
+        with pytest.raises(ReproError, match="time_scale"):
+            replay_trace(_smoke_trace(jobs=1), client=None, time_scale=0.0)
+
+    def test_run_load_fails_fast_on_unreachable_url(self):
+        from repro.service import ServiceError
+
+        with pytest.raises((ReproError, ServiceError)):
+            run_load(_smoke_trace(jobs=1), url="http://127.0.0.1:9")

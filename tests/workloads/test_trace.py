@@ -1,0 +1,123 @@
+"""Trace format: round-trips, determinism, header/order validation."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import ExperimentSpec
+from repro.workloads import (
+    TRACE_FORMAT,
+    Trace,
+    TraceReader,
+    TraceRecord,
+    TraceWriter,
+    read_trace,
+    serialize_trace,
+    synthesize_trace,
+    write_trace,
+)
+
+
+def _demo_trace() -> Trace:
+    return synthesize_trace(
+        arrival="poisson", rate=5.0, jobs=8, seed=1,
+        circuits=("random-layered:q=4:d=3", "qasm/bell"),
+        spec_defaults={"placer": "center"},
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_reserialize_is_byte_identical(self, tmp_path):
+        """The acceptance loop: write → read → re-serialize → same bytes."""
+        trace = _demo_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        first = path.read_text()
+
+        reread = read_trace(path)
+        assert serialize_trace(reread) == first
+        assert len(reread) == len(trace)
+        assert reread.meta == trace.meta
+        assert [r.to_dict() for r in reread] == [r.to_dict() for r in trace]
+
+    def test_same_seed_synthesizes_identical_traces(self):
+        assert serialize_trace(_demo_trace()) == serialize_trace(_demo_trace())
+
+    def test_different_seed_changes_the_trace(self):
+        other = synthesize_trace(
+            arrival="poisson", rate=5.0, jobs=8, seed=2,
+            circuits=("random-layered:q=4:d=3", "qasm/bell"),
+            spec_defaults={"placer": "center"},
+        )
+        assert serialize_trace(other) != serialize_trace(_demo_trace())
+
+    def test_header_carries_format_and_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(_demo_trace(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["meta"]["arrival"] == "poisson"
+        assert header["meta"]["seed"] == 1
+
+
+class TestSynthesize:
+    def test_per_job_seeds_make_specs_distinct(self):
+        """Repeated circuits get per-job seeds, defeating service dedup."""
+        trace = synthesize_trace(jobs=6, circuits=("random-layered:q=4:d=3",))
+        names = [record.spec.circuit for record in trace]
+        assert len(set(names)) == len(names)
+        assert all(":seed=" in name for name in names)
+
+    def test_qasm_names_are_left_unseeded(self):
+        trace = synthesize_trace(jobs=3, circuits=("qasm/bell",))
+        assert [record.spec.circuit for record in trace] == ["qasm/bell"] * 3
+
+    def test_fabric_dict_default_becomes_a_cell(self):
+        from repro.runner import FabricCell
+
+        trace = synthesize_trace(
+            jobs=2,
+            spec_defaults={"fabric": {"junction_rows": 4, "junction_cols": 4}},
+        )
+        for record in trace:
+            assert isinstance(record.spec.fabric, FabricCell)
+            assert record.spec.to_dict()["fabric"]["junction_rows"] == 4
+
+    def test_rejects_empty_circuits(self):
+        with pytest.raises(ReproError, match="at least one circuit"):
+            synthesize_trace(circuits=())
+
+
+class TestValidation:
+    def test_reader_rejects_wrong_format_tag(self):
+        source = io.StringIO('{"format":"qspr-trace/999","meta":{}}\n')
+        with pytest.raises(ReproError, match="unsupported trace format"):
+            TraceReader(source)
+
+    def test_reader_rejects_missing_header(self):
+        with pytest.raises(ReproError, match="header"):
+            TraceReader(io.StringIO("not json\n"))
+
+    def test_reader_reports_bad_record_line_numbers(self):
+        source = io.StringIO(
+            '{"format":"%s","meta":{}}\n{"nope":true}\n' % TRACE_FORMAT
+        )
+        with pytest.raises(ReproError, match="line 2"):
+            list(TraceReader(source))
+
+    def test_writer_enforces_arrival_order(self):
+        writer = TraceWriter(io.StringIO())
+        writer.append(TraceRecord(2.0, ExperimentSpec("ghz")))
+        with pytest.raises(ReproError, match="arrival order"):
+            writer.append(TraceRecord(1.0, ExperimentSpec("ghz")))
+
+    def test_trace_rejects_unsorted_or_negative_times(self):
+        spec = ExperimentSpec("ghz")
+        with pytest.raises(ReproError, match="sorted"):
+            Trace(records=(TraceRecord(2.0, spec), TraceRecord(1.0, spec)))
+        with pytest.raises(ReproError, match="non-negative"):
+            Trace(records=(TraceRecord(-1.0, spec),))
