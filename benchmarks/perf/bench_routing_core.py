@@ -41,12 +41,21 @@ def test_perf_suite_reports_trajectory():
         assert case["wall_seconds"] > 0
         assert 0 <= case["routing_seconds"] <= case["wall_seconds"]
     for entry in report["speedups"]:
-        # The equivalence gate inside measure_speedup already asserted equal
-        # latencies; here we only require the compiled core not to regress.
-        assert entry["speedup"] > 1.0, (
-            f"compiled core slower than the pre-refactor core on {entry['circuit']}: "
-            f"{entry['speedup']:.2f}x"
-        )
+        # The equivalence gates inside measure_speedup and
+        # measure_event_core_speedup already asserted equal results; here we
+        # only require no regression.  Event-core entries are gated on the
+        # deterministic route-query ratio — their wall margin is thinner and
+        # shared-runner timing noise must not flake the harness.
+        if entry["kind"] == "event-core":
+            assert entry["route_query_speedup"] > 1.0, (
+                f"event core answered more route queries than the tick loop on "
+                f"{entry['circuit']}: {entry['route_query_speedup']:.2f}x"
+            )
+        else:
+            assert entry["speedup"] > 1.0, (
+                f"compiled core slower than the pre-refactor core on "
+                f"{entry['circuit']}: {entry['speedup']:.2f}x"
+            )
 
 
 def test_largest_circuit_speedup(benchmark):

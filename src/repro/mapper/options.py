@@ -72,12 +72,24 @@ class MapperOptions:
             selects the pre-refactor object-based core; results are
             identical, only speed differs.  Kept selectable for differential
             tests and the performance benchmarks.
-        busy_wake_sets: Retry parked (busy-queue) instructions only when one
-            of the channels that blocked them is released, instead of
-            re-planning the whole queue on every channel-exit event.
-            Results are identical; only futile router calls (and therefore
-            the routing-core counters) drop.  Off by default to keep
-            default-scenario reports byte-stable.
+        event_core: Run the event-driven simulation core: pop the
+            timestamp-ordered event heap, apply the typed event's state
+            change, and re-attempt issue only when the event woke a blocked
+            instruction (or the run does not track wake sets).  ``False``
+            selects the tick-poll loop, which re-attempts every ready
+            instruction at every event timestamp.  Results are byte-identical
+            either way — only the event-loop and routing counters (and the
+            wall clock) differ — so the tick loop is kept selectable for
+            differential tests and the event-core benchmarks.
+        busy_wake_sets: Park routing-blocked instructions on the precise
+            wake-set keys of their failure (blocking-cut channels, occupancy
+            traps) and retry them only when one of those keys is woken.
+            **Deprecated:** wake sets are now the default path of the event
+            core and there is no reason to disable them outside differential
+            tests and benchmarks; the flag will eventually be removed
+            together with the tick loop.  Results are identical with the
+            feature on or off; only futile router calls (and therefore the
+            routing-core counters) drop.
         shared_route_cache: Consult (and feed) the process-wide idle-route
             store shared across all runs on the same fabric, technology and
             routing policy.  Idle-congestion route plans are pure functions
@@ -102,7 +114,8 @@ class MapperOptions:
     mvfb_max_runs_per_seed: int = 40
     random_seed: int = 0
     compiled_routing: bool = True
-    busy_wake_sets: bool = False
+    event_core: bool = True
+    busy_wake_sets: bool = True
     shared_route_cache: bool = False
 
     def __post_init__(self) -> None:
@@ -197,8 +210,10 @@ class MapperOptions:
             text += f" m'={self.num_placements}"
         if not self.compiled_routing:
             text += " core=legacy"
-        if self.busy_wake_sets:
-            text += " wake_sets=True"
+        if not self.event_core:
+            text += " sim=tick"
+        if not self.busy_wake_sets:
+            text += " wake_sets=False"
         if self.shared_route_cache:
             text += " shared_routes=True"
         return text

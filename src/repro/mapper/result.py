@@ -8,6 +8,7 @@ from repro.mapper.options import MapperOptions
 from repro.placement.base import Placement
 from repro.routing.compiled import RoutingCoreStats
 from repro.sim.engine import InstructionRecord
+from repro.sim.events import EventLoopStats
 from repro.sim.trace import ControlTrace
 
 
@@ -46,6 +47,10 @@ class MappingResult:
             routes inside the router.
         routing_stats: Routing-core counters of the winning pass (route
             cache hits/misses, Dijkstra calls, heap pops, edge relaxations).
+        event_stats: Event-loop counters of the winning pass (events
+            processed, peak heap size, wake hits, skipped/executed issue
+            polls).  All zero for the tick-poll loop's ``skipped_polls``; a
+            tick-loop run polls at every event timestamp by construction.
     """
 
     circuit_name: str
@@ -68,6 +73,7 @@ class MappingResult:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     routing_seconds: float = 0.0
     routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
+    event_stats: EventLoopStats = field(default_factory=EventLoopStats)
 
     @property
     def overhead_vs_ideal(self) -> float:
@@ -113,6 +119,10 @@ class MappingResult:
             f"  dijkstra core     : {self.routing_stats.dijkstra_calls} calls, "
             f"{self.routing_stats.heap_pops} heap pops, "
             f"{self.routing_stats.edge_relaxations} relaxations",
+            f"  event loop        : {self.event_stats.events_processed} events, "
+            f"{self.event_stats.issue_polls} polls "
+            f"({self.event_stats.skipped_polls} skipped), "
+            f"{self.event_stats.wake_hits} wakes",
             f"  mapping CPU time  : {self.cpu_seconds * 1000:.0f} ms",
             f"  options           : {self.options.describe()}",
         ]

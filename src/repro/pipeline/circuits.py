@@ -35,7 +35,7 @@ from pathlib import Path
 
 from repro.circuits.builders import ghz_circuit, qft_like_circuit, ripple_chain_circuit
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder
+from repro.circuits.qecc import BENCHMARK_NAMES, qecc_encoder, scaled_encoder
 from repro.circuits.random_circuits import random_circuit
 from repro.errors import CircuitError
 from repro.pipeline.registry import Registry
@@ -57,6 +57,17 @@ def _qecc_factory(name: str):
 
 for _name in BENCHMARK_NAMES:
     CIRCUITS.register(_name, _qecc_factory(_name))
+
+@CIRCUITS.register("qecc-scaled")
+def qecc_scaled(distance: int = 9) -> QuantumCircuit:
+    """A QECC-encoder benchmark extrapolated to code distance ``distance``.
+
+    ``qecc-scaled:distance=9`` (or ``qecc-scaled:dist=9``) builds the
+    ``[[41,1,9]]`` member of the scaled family; see
+    :func:`repro.circuits.qecc.scaled_encoder`.
+    """
+    return scaled_encoder(distance)
+
 
 @CIRCUITS.register("ghz")
 def ghz(num_qubits: int = 5) -> QuantumCircuit:
@@ -102,6 +113,7 @@ PARAM_ALIASES: dict[str, str] = {
     "gates": "num_gates",
     "l": "locality",
     "loc": "locality",
+    "dist": "distance",
     "s": "seed",
     "f": "fill",
     "r": "rounds",

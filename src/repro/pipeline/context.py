@@ -25,6 +25,7 @@ from repro.placement.base import Placement
 from repro.qidg.graph import QIDG
 from repro.routing.compiled import RoutingCoreStats
 from repro.sim.engine import FabricSimulator, InstructionRecord, SimulationOutcome
+from repro.sim.events import EventLoopStats
 from repro.sim.trace import ControlTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,6 +56,8 @@ class PlacementOutcome:
         routing_seconds: Wall-clock time the winning pass spent inside the
             router (a subset of its simulation time).
         routing_stats: Routing-core counters of the winning pass.
+        event_stats: Event-loop counters of the winning pass (events
+            processed, peak heap size, wake hits, skipped/executed polls).
     """
 
     latency: float
@@ -71,6 +74,7 @@ class PlacementOutcome:
     cpu_seconds: float = 0.0
     routing_seconds: float = 0.0
     routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
+    event_stats: EventLoopStats = field(default_factory=EventLoopStats)
 
     @classmethod
     def from_simulation(
@@ -97,6 +101,7 @@ class PlacementOutcome:
             cpu_seconds=outcome.cpu_seconds if cpu_seconds is None else cpu_seconds,
             routing_seconds=outcome.routing_seconds,
             routing_stats=outcome.routing_stats,
+            event_stats=outcome.event_stats,
         )
 
 
@@ -182,6 +187,7 @@ class PipelineContext:
             qidg=qidg if qidg is not None else self.qidg,
             barrier_scheduling=options.barrier_scheduling and forced_order is None,
             compiled_routing=options.compiled_routing,
+            event_core=options.event_core,
             busy_wake_sets=options.busy_wake_sets,
             shared_route_cache=options.shared_route_cache,
         )

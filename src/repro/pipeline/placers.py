@@ -131,4 +131,5 @@ def mvfb_strategy(ctx: PipelineContext) -> PlacementOutcome:
         cpu_seconds=mvfb.cpu_seconds,
         routing_seconds=outcome.routing_seconds,
         routing_stats=outcome.routing_stats,
+        event_stats=outcome.event_stats,
     )

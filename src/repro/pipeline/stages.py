@@ -120,6 +120,7 @@ def _package_result_stage(ctx: PipelineContext) -> None:
         stage_seconds=ctx.stage_seconds,
         routing_seconds=outcome.routing_seconds,
         routing_stats=outcome.routing_stats,
+        event_stats=outcome.event_stats,
     )
 
 

@@ -301,6 +301,7 @@ class CompiledRoutingGraph:
         *,
         turn_aware_costing: bool = True,
         stats: RoutingCoreStats | None = None,
+        blocked_channels: set | None = None,
     ) -> DijkstraResult | None:
         """Array-based equivalent of :func:`repro.routing.dijkstra.shortest_route`.
 
@@ -317,6 +318,12 @@ class CompiledRoutingGraph:
             turn_aware_costing: Whether turn edges cost ``T_turn`` during the
                 search (QSPR) or are free (prior tools / ablation).
             stats: Optional counter sink; incremented in place.
+            blocked_channels: Optional output set.  When the search fails it
+                receives the ids of the full channels on the search frontier —
+                the *blocking cut*.  A route can only come into existence when
+                one of those channels frees a slot: every other full channel
+                lies beyond the cut (unreachable either way), and releases of
+                non-full channels only change costs, never connectivity.
 
         Returns:
             The cheapest :class:`DijkstraResult` — identical, route-for-route,
@@ -366,6 +373,8 @@ class CompiledRoutingGraph:
         relaxations = 0
         pop = heapq.heappop
         push = heapq.heappush
+        track_cut = blocked_channels is not None
+        settled: list[int] = []
 
         while heap:
             cost, _, node = pop(heap)
@@ -375,6 +384,8 @@ class CompiledRoutingGraph:
             ):
                 continue
             visited_gen[node] = generation
+            if track_cut:
+                settled.append(node)
             completion = target_cost.get(node)
             if completion is not None and cost + completion < best_total:
                 best_total = cost + completion
@@ -405,6 +416,16 @@ class CompiledRoutingGraph:
             stats.edge_relaxations += relaxations
 
         if best_exit < 0 or not math.isfinite(best_total):
+            if track_cut:
+                # The search exhausted the reachable component: every full
+                # channel incident to a settled node is part of the cut that
+                # separates the sources from the targets.
+                edge_objects = self._edges
+                is_turn = self._edge_is_turn
+                for i in settled:
+                    for weight, _, e in adjacency[i]:
+                        if weight == _INF and not is_turn[e]:
+                            blocked_channels.add(edge_objects[e].channel_id)
             return None
 
         edge_objects = self._edges

@@ -124,18 +124,27 @@ class CongestionTracker:
         self._total_reservations += 1
         self._epoch = next(CongestionTracker._epoch_source)
 
-    def release(self, channel_id: ChannelId) -> None:
+    def release(self, channel_id: ChannelId) -> bool:
         """Free one slot of ``channel_id``.
+
+        Returns:
+            ``True`` when the channel was at capacity, i.e. this release
+            opened routing capacity that was previously exhausted.  The
+            event-driven simulator uses this to tell capacity-opening
+            releases (which can wake full-channel-blocked instructions) from
+            releases that merely lower a finite congestion weight.
 
         Raises:
             RoutingError: If the channel has no outstanding reservation.
         """
         if self._occupancy[channel_id] <= 0:
             raise RoutingError(f"channel {channel_id} released more often than reserved")
+        was_full = self._occupancy[channel_id] >= self.channel_capacity
         self._occupancy[channel_id] -= 1
         if self._occupancy[channel_id] == 0:
             del self._occupancy[channel_id]
         self._epoch = next(CongestionTracker._epoch_source)
+        return was_full
 
     def reserve_all(self, channel_ids: list[ChannelId]) -> None:
         """Reserve every channel in ``channel_ids`` atomically.

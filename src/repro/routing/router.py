@@ -154,6 +154,57 @@ class InstructionRoute:
 #: Route-cache sentinel distinguishing "not cached" from a cached ``None``.
 _UNCACHED = object()
 
+#: Wake-set key standing for "any congestion change whatsoever".  Recorded as
+#: a blocker when an instruction's routing failure is *route-choice
+#: dependent*: planning the destination operand under the source operand's
+#: temporary reservations failed, and a different source-route choice — which
+#: any occupancy change anywhere can trigger, full or not — could have left
+#: room for the destination.  The simulator wakes this key on every channel
+#: release and every issue.  Failures that never reached that stage are pure
+#: full-channel cuts, for which the per-channel/per-trap keys are exact.
+ANY_CONGESTION_CHANGE = ("congestion", "any")
+
+#: Widest precise wake-set worth recording.  Beyond this many keys the busy
+#: queue's reverse index costs more to build and honour than the futile
+#: retries it prunes, so :meth:`Router.plan_instruction` collapses the set to
+#: :data:`ANY_CONGESTION_CHANGE` (a strict superset, woken on every release
+#: and every issue).  64 keys keeps the crowded-fabric sets — dozens of
+#: occupied traps scanned past during candidate ranking — precise while
+#: bounding the per-failure indexing cost (measured optimum on the
+#: congestion-heavy bench cases; 24 collapses over half of them, beyond 256
+#: the bookkeeping outweighs the extra pruning).
+MAX_BLOCKER_KEYS = 64
+
+
+def channel_key(channel_id: ChannelId) -> tuple[str, ChannelId]:
+    """Busy-queue wake-set key of a channel."""
+    return ("ch", channel_id)
+
+
+def trap_key(trap_id: TrapId) -> tuple[str, TrapId]:
+    """Busy-queue wake-set key of an *occupied* trap.
+
+    Recorded when a routing failure skipped ``trap_id`` as a meeting-trap
+    candidate because it was occupied.  The simulator wakes it when an issue
+    moves a resting qubit **out of** the trap — the only transition that can
+    turn it into a fresh candidate.
+    """
+    return ("trap", trap_id)
+
+
+def candidate_trap_key(trap_id: TrapId) -> tuple[str, TrapId]:
+    """Busy-queue wake-set key of a *tried* candidate trap.
+
+    Recorded when ``trap_id`` was free, was tried as the meeting trap, and
+    routing to it failed.  Such a failure is only revisited when the trap
+    **leaves** the candidate pool — an issue reserves it — because the
+    candidate ranking then admits a farther trap that was previously beyond
+    the selection horizon.  Releases of the trap's own channels are covered
+    separately by the failed legs' :func:`channel_key` cuts, so the two key
+    namespaces never overlap in meaning.
+    """
+    return ("trapc", trap_id)
+
 
 class Router:
     """Plans operand journeys under a given routing policy.
@@ -210,6 +261,20 @@ class Router:
         self.use_route_cache = use_route_cache
         self.stats = RoutingCoreStats()
         self._route_cache: dict[tuple[TrapId, TrapId], RoutePlan | None] = {}
+        #: Blocking cuts of cached failures (same lifetime as the route
+        #: cache): lets a cache-hit failure report *why* it fails without
+        #: re-running the search.
+        self._failure_cuts: dict[tuple[TrapId, TrapId], tuple[ChannelId, ...]] = {}
+        #: Last known blocking cut per trap pair, kept **across** epochs.
+        #: A cut is a topological fact — every source→target path crosses one
+        #: of its channels, because any non-full edge leaving the exhausted
+        #: search region would have been relaxed into it — so fullness is its
+        #: only time-varying part.  When a later query finds every channel of
+        #: the remembered cut still full, the search must fail again and is
+        #: skipped in O(|cut|) instead of flooding the fabric.  Hints are only
+        #: read and written on cut-tracked queries, so planning without
+        #: blocker tracking (the tick-loop baseline) is unaffected.
+        self._cut_hints: dict[tuple[TrapId, TrapId], tuple[ChannelId, ...]] = {}
         self._cache_epoch = -1
 
     @property
@@ -246,27 +311,67 @@ class Router:
         source_trap_id: TrapId,
         target_trap_id: TrapId,
         congestion: CongestionTracker,
+        *,
+        cut: set | None = None,
     ) -> RoutePlan | None:
         """Plan the journey of one qubit between two traps.
 
         Returns ``None`` when no finite-cost route exists under the current
-        congestion (the caller decides whether to retry later).
+        congestion (the caller decides whether to retry later).  When ``cut``
+        is given, a failure fills it with the :class:`ChannelId`\\ s of the
+        blocking cut — the full channels whose release could make the journey
+        routable (see
+        :meth:`~repro.routing.compiled.CompiledRoutingGraph.shortest_route`).
 
         Plans (including unroutable outcomes) are cached per trap pair until
         the congestion epoch advances; a hit for a different qubit rebinds
         the plan's qubit name, everything else being qubit-independent.
+        Failure cuts are cached alongside.
+
+        Journeys shorter than two hops — staying put, or moving within a
+        single channel — bypass the cache entirely: planning them is cheaper
+        than the cache bookkeeping, and on small circuits they crowd the
+        cache with entries that are never worth a hit (BENCH_perf.json showed
+        0% hit rates on ``[[5,1,3]]``/``[[7,1,3]]``, where almost every route
+        is trivial).  Only Dijkstra-backed plans enter the cache, so the hit
+        counters now describe exactly the queries the cache exists for.
         """
+        if source_trap_id == target_trap_id:
+            return stationary_plan(qubit, source_trap_id)
         if not self.use_route_cache:
             return self._plan_qubit_route_uncached(
-                qubit, source_trap_id, target_trap_id, congestion
+                qubit, source_trap_id, target_trap_id, congestion, cut=cut
+            )
+        source = self.fabric.trap(source_trap_id)
+        target = self.fabric.trap(target_trap_id)
+        if source.channel_id == target.channel_id:
+            if congestion.is_full(source.channel_id):
+                if cut is not None:
+                    cut.add(source.channel_id)
+                return None
+            return expand_route(
+                self.fabric, self.technology, qubit, source, target, None, ()
             )
         if congestion.epoch != self._cache_epoch:
             self._route_cache.clear()
+            self._failure_cuts.clear()
             self._cache_epoch = congestion.epoch
         key = (source_trap_id, target_trap_id)
         cached = self._route_cache.get(key, _UNCACHED)
         if cached is not _UNCACHED:
             self.stats.cache_hits += 1
+            if cached is None and cut is not None:
+                known = self._failure_cuts.get(key)
+                if known is None:
+                    # The failure was cached by a caller that did not ask for
+                    # its cut; recover it once and remember it.
+                    probe: set = set()
+                    self._plan_qubit_route_uncached(
+                        qubit, source_trap_id, target_trap_id, congestion, cut=probe
+                    )
+                    known = tuple(probe)
+                    self._failure_cuts[key] = known
+                cut.update(known)
             if cached is not None and cached.qubit != qubit:
                 cached = replace(cached, qubit=qubit)
             return cached
@@ -282,11 +387,29 @@ class Router:
                 with shared.lock:
                     shared.hits += 1
                 self._route_cache[key] = plan
+                if plan is None and cut is not None:
+                    probe = set()
+                    self._plan_qubit_route_uncached(
+                        qubit, source_trap_id, target_trap_id, congestion, cut=probe
+                    )
+                    self._failure_cuts[key] = tuple(probe)
+                    cut.update(probe)
                 if plan is not None and plan.qubit != qubit:
                     plan = replace(plan, qubit=qubit)
                 return plan
         self.stats.cache_misses += 1
-        plan = self._plan_qubit_route_uncached(qubit, source_trap_id, target_trap_id, congestion)
+        if cut is not None:
+            probe = set()
+            plan = self._plan_qubit_route_uncached(
+                qubit, source_trap_id, target_trap_id, congestion, cut=probe
+            )
+            if plan is None:
+                self._failure_cuts[key] = tuple(probe)
+                cut.update(probe)
+        else:
+            plan = self._plan_qubit_route_uncached(
+                qubit, source_trap_id, target_trap_id, congestion
+            )
         self._route_cache[key] = plan
         if idle:
             with shared.lock:
@@ -300,6 +423,7 @@ class Router:
         source_trap_id: TrapId,
         target_trap_id: TrapId,
         congestion: CongestionTracker,
+        cut: set | None = None,
     ) -> RoutePlan | None:
         if source_trap_id == target_trap_id:
             return stationary_plan(qubit, source_trap_id)
@@ -308,17 +432,38 @@ class Router:
 
         if source.channel_id == target.channel_id:
             if congestion.is_full(source.channel_id):
+                if cut is not None:
+                    cut.add(source.channel_id)
                 return None
             return expand_route(
                 self.fabric, self.technology, qubit, source, target, None, ()
             )
 
-        if congestion.is_full(source.channel_id) or congestion.is_full(target.channel_id):
+        source_full = congestion.is_full(source.channel_id)
+        target_full = congestion.is_full(target.channel_id)
+        if source_full or target_full:
+            if cut is not None:
+                if source_full:
+                    cut.add(source.channel_id)
+                if target_full:
+                    cut.add(target.channel_id)
             return None
+
+        key = (source_trap_id, target_trap_id)
+        if cut is not None:
+            # Cut-hint fast failure: a previously recorded blocking cut
+            # separates this trap pair for good (cuts are topological), so if
+            # every one of its channels is still full the search cannot
+            # succeed and is not worth flooding the fabric for.
+            hint = self._cut_hints.get(key)
+            if hint is not None and all(congestion.is_full(c) for c in hint):
+                cut.update(hint)
+                return None
 
         sources = self._attachment_costs(source, congestion)
         targets = self._attachment_costs(target, congestion)
         if self.compiled is not None:
+            probe: set[ChannelId] | None = set() if cut is not None else None
             result = self.compiled.shortest_route(
                 sources,
                 targets,
@@ -326,7 +471,14 @@ class Router:
                 self.technology,
                 turn_aware_costing=self.policy.turn_aware,
                 stats=self.stats,
+                blocked_channels=probe,
             )
+            if result is None and probe:
+                # Remember this query's own cut (not the caller's running
+                # set) as the pair's fast-failure hint for later epochs.
+                self._cut_hints[key] = tuple(probe)
+            if probe:
+                cut.update(probe)
         else:
             self.stats.dijkstra_calls += 1
             result = shortest_route(
@@ -340,6 +492,10 @@ class Router:
                     turn_aware_costing=self.policy.turn_aware,
                 ),
             )
+            if result is None and cut is not None:
+                # The legacy object-graph kernel does not report its frontier;
+                # fall back to the coarse (but still sound) full-channel set.
+                cut.update(congestion.full_channels())
         if result is None:
             return None
         entry_junction = result.entry_node[0]
@@ -363,6 +519,7 @@ class Router:
         congestion: CongestionTracker,
         *,
         occupied_traps: Iterable[TrapId] = (),
+        blockers: set | None = None,
     ) -> InstructionRoute | None:
         """Plan the meeting trap and operand journeys of ``instruction``.
 
@@ -374,6 +531,20 @@ class Router:
             occupied_traps: Traps that cannot be chosen as the meeting trap
                 (resting qubits of other instructions, or traps reserved by
                 in-flight instructions).
+            blockers: Optional output set.  When planning fails it receives
+                the wake-set keys of every resource whose state change could
+                flip the failure: :func:`channel_key` of each channel in a
+                failed leg's *blocking cut* (the full channels its search
+                actually ran into — not every full channel on the fabric),
+                :func:`trap_key` of each occupied trap skipped during
+                candidate selection (woken when an issue vacates it),
+                :func:`candidate_trap_key` of each free trap that was tried
+                and failed (woken when an issue reserves it, shifting the
+                candidate horizon), and :data:`ANY_CONGESTION_CHANGE` when a
+                destination leg failed under a source overlay (a
+                route-choice-dependent failure).  Until one of those keys is
+                woken the instruction is provably unroutable, so the
+                simulator's busy queue can skip its retries.
 
         Returns:
             The routing decision, or ``None`` when the instruction cannot be
@@ -392,36 +563,49 @@ class Router:
         source_name, dest_name = operand_names
         source_trap = positions[source_name]
         dest_trap = positions[dest_name]
+        # Traps whose occupancy status shaped the candidate list; only
+        # maintained when the caller asked for failure blockers.
+        considered: set[TrapId] = set()
+        track = blockers is not None
+        occupied = set(occupied_traps)
 
         if self.policy.meeting_point is MeetingPoint.DESTINATION:
             # The destination qubit stays put (QPOS/QUALE behaviour) unless its
             # trap already hosts a qubit that is not part of this instruction,
             # in which case meeting there would exceed the trap capacity; the
             # gate then happens in the nearest free trap to the destination.
-            occupied = set(occupied_traps)
             if dest_trap not in occupied:
                 candidates = [self.fabric.trap(dest_trap)]
             else:
+                if track:
+                    considered.add(dest_trap)
                 dest_cell = self.fabric.trap(dest_trap).cell
                 candidates = []
                 for trap in self.fabric.traps_by_distance(dest_cell):
-                    if trap.id not in occupied:
-                        candidates.append(trap)
-                        if len(candidates) >= max(2, self.policy.trap_candidates):
-                            break
+                    if trap.id in occupied:
+                        if track:
+                            considered.add(trap.id)
+                        continue
+                    candidates.append(trap)
+                    if len(candidates) >= max(2, self.policy.trap_candidates):
+                        break
         elif self.policy.meeting_point is MeetingPoint.CENTER:
-            excluded = set(occupied_traps)
-            candidates = [
-                trap
-                for trap in self.fabric.traps_near_center()
-                if trap.id not in excluded
-            ][: self.policy.trap_candidates]
+            candidates = []
+            for trap in self.fabric.traps_near_center():
+                if trap.id in occupied:
+                    if track:
+                        considered.add(trap.id)
+                    continue
+                candidates.append(trap)
+                if len(candidates) >= self.policy.trap_candidates:
+                    break
         else:
             candidates = select_target_trap(
                 self.fabric,
                 [source_trap, dest_trap],
-                occupied=occupied_traps,
+                occupied=occupied,
                 max_candidates=self.policy.trap_candidates,
+                skipped=considered if track else None,
             )
 
         if self.policy.meeting_point is not MeetingPoint.DESTINATION:
@@ -429,20 +613,36 @@ class Router:
             # other operand travels.  This keeps dual-operand policies live on
             # capacity-1 fabrics, where two qubits can never share the meeting
             # trap's channel simultaneously.
-            occupied = set(occupied_traps)
             seen = {candidate.id for candidate in candidates}
             for trap_id in (dest_trap, source_trap):
-                if trap_id not in occupied and trap_id not in seen:
+                if trap_id in occupied:
+                    if track:
+                        considered.add(trap_id)
+                elif trap_id not in seen:
                     candidates.append(self.fabric.trap(trap_id))
                     seen.add(trap_id)
 
         for candidate in candidates:
             route = self._plan_to_candidate(
                 instruction, source_name, source_trap, dest_name, dest_trap,
-                candidate, congestion,
+                candidate, congestion, blockers=blockers,
             )
             if route is not None:
                 return route
+        if track:
+            blockers.update(trap_key(trap_id) for trap_id in considered)
+            blockers.update(
+                candidate_trap_key(candidate.id) for candidate in candidates
+            )
+            if ANY_CONGESTION_CHANGE in blockers or len(blockers) > MAX_BLOCKER_KEYS:
+                # The sentinel subsumes every precise key: occupied traps only
+                # vacate at issue and full channels only open at release, and
+                # the sentinel is woken on both.  Once it is present — or when
+                # the precise set is so wide that indexing and honouring it
+                # costs more than the retries it would prune — record only the
+                # sentinel.
+                blockers.clear()
+                blockers.add(ANY_CONGESTION_CHANGE)
         return None
 
     def _plan_to_candidate(
@@ -454,12 +654,19 @@ class Router:
         dest_trap: TrapId,
         candidate: Trap,
         congestion: CongestionTracker,
+        blockers: set | None = None,
     ) -> InstructionRoute | None:
         """Try to route both operands to one candidate meeting trap."""
+        # The blocking cuts of failed legs become wake-set keys: a leg failure
+        # under the *true* congestion state (no overlay) can only flip when a
+        # cut channel releases.
+        leg_cut: set | None = set() if blockers is not None else None
         source_plan = self.plan_qubit_route(
-            source_name, source_trap, candidate.id, congestion
+            source_name, source_trap, candidate.id, congestion, cut=leg_cut
         )
         if source_plan is None:
+            if blockers is not None:
+                blockers.update(channel_key(channel) for channel in leg_cut)
             return None
 
         serial = self.policy.channel_capacity < 2
@@ -469,9 +676,11 @@ class Router:
             # path selections therefore see the same congestion state and
             # shared channels are reserved once.
             dest_plan = self.plan_qubit_route(
-                dest_name, dest_trap, candidate.id, congestion
+                dest_name, dest_trap, candidate.id, congestion, cut=leg_cut
             )
             if dest_plan is None:
+                if blockers is not None:
+                    blockers.update(channel_key(channel) for channel in leg_cut)
                 return None
             plans = (source_plan, dest_plan)
             channels = tuple(
@@ -495,6 +704,8 @@ class Router:
         try:
             for channel_id in source_plan.channels_used:
                 if congestion.is_full(channel_id):
+                    if blockers is not None:
+                        blockers.add(ANY_CONGESTION_CHANGE)
                     return None
                 congestion.reserve(channel_id)
                 reserved.append(channel_id)
@@ -506,6 +717,15 @@ class Router:
                 congestion.release(channel_id)
             congestion.restore_epoch(epoch_before)
         if dest_plan is None:
+            # The destination leg failed *under the source overlay*: a
+            # different source-route choice might have left room, and any
+            # occupancy change anywhere can change that choice.  The failure
+            # is therefore not a stable full-channel cut — record the
+            # catch-all key so the busy queue retries on every congestion
+            # change (issues and releases), exactly as the tick loop's
+            # wake-everything events would.
+            if blockers is not None:
+                blockers.add(ANY_CONGESTION_CHANGE)
             return None
         plans = (source_plan, dest_plan)
         channels = tuple(

@@ -21,6 +21,7 @@ def select_target_trap(
     *,
     occupied: Iterable[TrapId] = (),
     max_candidates: int = 1,
+    skipped: set[TrapId] | None = None,
 ) -> list[Trap]:
     """Rank candidate meeting traps for a two-qubit instruction.
 
@@ -37,6 +38,10 @@ def select_target_trap(
             Returning more than one lets the router fall back to the next
             nearest trap when the nearest one is unreachable under the current
             congestion.
+        skipped: Optional output set receiving the occupied traps passed over
+            during the ranking.  Together with the returned candidates these
+            are exactly the traps whose occupancy status shaped the result —
+            the router records them as wake-set keys on routing failure.
 
     Returns:
         Up to ``max_candidates`` traps ordered by distance to the median of
@@ -48,6 +53,8 @@ def select_target_trap(
     candidates: list[Trap] = []
     for trap in fabric.traps_by_distance(median):
         if trap.id in excluded:
+            if skipped is not None:
+                skipped.add(trap.id)
             continue
         candidates.append(trap)
         if len(candidates) >= max_candidates:

@@ -39,6 +39,7 @@ from repro.runner.bench import (
     BENCH_SCHEMA,
     BenchCase,
     format_perf_report,
+    measure_event_core_speedup,
     measure_speedup,
     run_perf_suite,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "format_perf_report",
     "latency_table",
     "map_spec",
+    "measure_event_core_speedup",
     "measure_speedup",
     "parse_axis",
     "parse_bool_axis",

@@ -1,12 +1,25 @@
 """Performance microbenchmarks of the mapping hot path (``qspr-map bench``).
 
 The suite times full place-route-simulate pipeline runs on the paper's QECC
-benchmark circuits and measures the speedup of the compiled routing core
-(:mod:`repro.routing.compiled` plus the router's route cache and the fabric's
-spatial memo) against the pre-refactor core.  The baseline leg reproduces the
-pre-refactor behaviour faithfully: object-based Dijkstra, no route cache and
-a fabric with its spatial memo disabled — both legs produce identical
-mapping results, so the comparison is pure wall-clock.
+benchmark circuits and measures two tracked speedups:
+
+* the *compiled routing core* (:mod:`repro.routing.compiled` plus the
+  router's route cache and the fabric's spatial memo) against the
+  pre-refactor object core (``kind: "compiled-core"`` entries), and
+* the *event-driven simulation core* (wake-set gated issue polls; see
+  :mod:`repro.sim.engine`) against the tick-poll issue loop
+  (``kind: "event-core"`` entries).
+
+Each baseline leg reproduces the pre-refactor behaviour faithfully — the
+compiled-core baseline uses object-based Dijkstra with no route cache or
+spatial memo; the event-core baseline runs ``event_core=False,
+busy_wake_sets=False``, i.e. an issue poll at every event timestamp — and
+both legs of every comparison produce identical mapping results, so no
+speedup can come from doing different work.  Event-core entries carry the
+wall-clock ratio *and* the deterministic work ratios (router route queries,
+Dijkstra runs, issue polls): wall-clock is noisy and flattens the router-call
+reduction through per-call costs, while the work ratios are exactly
+reproducible, which is what CI gates on.
 
 Results are written to ``BENCH_perf.json`` so every future change has a
 recorded trajectory to beat; see ``docs/PERFORMANCE.md`` for how to read the
@@ -33,7 +46,10 @@ from repro.pipeline.stages import MappingPipeline
 from repro.pipeline.technologies import resolve_technology
 
 #: Identifier of the report layout, bumped on incompatible changes.
-BENCH_SCHEMA = "qspr-perf-bench/1"
+#: Schema 2: ``speedups`` entries carry a ``kind`` discriminator
+#: (``compiled-core`` / ``event-core``); event-core entries add the
+#: deterministic work-ratio fields next to the wall-clock legs.
+BENCH_SCHEMA = "qspr-perf-bench/2"
 
 #: The largest bundled circuit (most qubits); the headline speedup target.
 LARGEST_CIRCUIT = "[[23,1,7]]"
@@ -93,6 +109,24 @@ FULL_CASES: tuple[BenchCase, ...] = tuple(
 QUICK_SPEEDUP_CIRCUITS: tuple[str, ...] = ("[[9,1,3]]",)
 FULL_SPEEDUP_CIRCUITS: tuple[str, ...] = ("[[19,1,7]]", LARGEST_CIRCUIT)
 
+#: Circuits the event-core-vs-tick-loop speedup is measured on.  All run
+#: under the ``cap-1`` technology (capacity-1 channels, the QUALE hardware
+#: assumption): single-occupancy channels maximise congestion stalls, which
+#: is the regime the wake-set gating exists for.  The ``qecc-scaled`` cases
+#: extrapolate the paper's QECC suite past its largest member ([[23,1,7]] at
+#: distance 7 → [[41,1,9]] at distance 9); the random-layered cases exercise
+#: locality-clustered traffic, where most parked instructions are unaffected
+#: by any given release and the gating pays off hardest.
+QUICK_EVENT_SPEEDUP_CIRCUITS: tuple[str, ...] = (
+    "qecc-scaled:dist=9",
+    "random-layered:q=48:d=16:fill=1.0:locality=3:seed=3",
+)
+FULL_EVENT_SPEEDUP_CIRCUITS: tuple[str, ...] = (
+    "qecc-scaled:dist=9",
+    "qecc-scaled:dist=13",
+    "random-layered:q=96:d=64:fill=1.0:locality=3:seed=3",
+)
+
 
 def _leg_fabric(fabric_name: str, *, compiled_routing: bool):
     """A fresh fabric for one timing leg.
@@ -116,6 +150,8 @@ def _run_pipeline(
     compiled_routing: bool,
     technology: str = "paper",
     scheduler: str = "qspr",
+    event_core: bool = True,
+    busy_wake_sets: bool = True,
 ) -> tuple[MappingResult, float]:
     """One timed pipeline run; returns the result and its wall-clock seconds."""
     circuit = resolve_circuit(circuit_name)
@@ -124,6 +160,8 @@ def _run_pipeline(
         scheduler=scheduler,
         placer=placer,
         compiled_routing=compiled_routing,
+        event_core=event_core,
+        busy_wake_sets=busy_wake_sets,
     )
     started = time.perf_counter()
     result = MappingPipeline.standard().run(circuit, fabric, options=options)
@@ -195,6 +233,7 @@ def measure_speedup(circuit_name: str, fabric_name: str = "quale", repeats: int 
             f"{baseline_latency} != {compiled_latency}"
         )
     return {
+        "kind": "compiled-core",
         "circuit": circuit_name,
         "fabric": fabric_name,
         "baseline": "pre-refactor core (object dijkstra, no route cache, no spatial memo)",
@@ -202,6 +241,104 @@ def measure_speedup(circuit_name: str, fabric_name: str = "quale", repeats: int 
         "compiled_seconds": compiled_seconds,
         "speedup": baseline_seconds / compiled_seconds if compiled_seconds else 0.0,
         "latency_us": compiled_latency,
+    }
+
+
+def measure_event_core_speedup(
+    circuit_name: str,
+    fabric_name: str = "quale",
+    repeats: int = 3,
+    *,
+    technology: str = "cap-1",
+    scheduler: str = "qspr",
+) -> dict:
+    """Best-of-``repeats`` event-core-vs-tick-loop comparison on one circuit.
+
+    The baseline leg runs ``event_core=False, busy_wake_sets=False`` — the
+    pre-refactor tick loop, which re-enters the issue loop at every event
+    timestamp and re-plans every parked instruction.  The event leg runs the
+    defaults (timestamp-ordered event heap, wake-set gated polls).  Both legs
+    must produce the identical latency *and* issue schedule, so the speedup
+    is pure avoided work.
+
+    Besides the wall-clock legs, the entry records the deterministic work
+    ratios, which are exactly reproducible run to run:
+
+    * ``route_query_speedup`` — ratio of router route queries (the headline:
+      every avoided query is a futile re-plan of an instruction whose
+      blockers had not changed);
+    * ``dijkstra_speedup`` — ratio of Dijkstra searches actually run;
+    * ``poll_speedup`` — ratio of issue-loop entries.
+    """
+    baseline_seconds = float("inf")
+    event_seconds = float("inf")
+    baseline_result: MappingResult | None = None
+    event_result: MappingResult | None = None
+    tick_fabric = _leg_fabric(fabric_name, compiled_routing=True)
+    event_fabric = _leg_fabric(fabric_name, compiled_routing=True)
+    for _ in range(max(1, repeats)):
+        result, seconds = _run_pipeline(
+            circuit_name,
+            tick_fabric,
+            "center",
+            compiled_routing=True,
+            technology=technology,
+            scheduler=scheduler,
+            event_core=False,
+            busy_wake_sets=False,
+        )
+        baseline_seconds = min(baseline_seconds, seconds)
+        baseline_result = result
+        result, seconds = _run_pipeline(
+            circuit_name,
+            event_fabric,
+            "center",
+            compiled_routing=True,
+            technology=technology,
+            scheduler=scheduler,
+        )
+        event_seconds = min(event_seconds, seconds)
+        event_result = result
+    assert baseline_result is not None and event_result is not None
+    if (
+        baseline_result.latency != event_result.latency
+        or baseline_result.schedule != event_result.schedule
+    ):  # pragma: no cover - equivalence gate
+        raise AssertionError(
+            f"event core changed the result on {circuit_name}: "
+            f"{baseline_result.latency} != {event_result.latency} or schedules differ"
+        )
+
+    def _ratio(baseline: float, event: float) -> float:
+        return baseline / event if event else 0.0
+
+    tick_queries = baseline_result.routing_stats.route_queries
+    event_queries = event_result.routing_stats.route_queries
+    return {
+        "kind": "event-core",
+        "circuit": circuit_name,
+        "fabric": fabric_name,
+        "technology": technology,
+        "scheduler": scheduler,
+        "baseline": "tick-poll issue loop (event_core=False, no wake-set gating)",
+        "baseline_seconds": baseline_seconds,
+        "event_seconds": event_seconds,
+        "speedup": _ratio(baseline_seconds, event_seconds),
+        "route_queries_baseline": tick_queries,
+        "route_queries_event": event_queries,
+        "route_query_speedup": _ratio(tick_queries, event_queries),
+        "dijkstra_speedup": _ratio(
+            baseline_result.routing_stats.dijkstra_calls,
+            event_result.routing_stats.dijkstra_calls,
+        ),
+        "issue_polls_baseline": baseline_result.event_stats.issue_polls,
+        "issue_polls_event": event_result.event_stats.issue_polls,
+        "poll_speedup": _ratio(
+            baseline_result.event_stats.issue_polls,
+            event_result.event_stats.issue_polls,
+        ),
+        "skipped_polls": event_result.event_stats.skipped_polls,
+        "latency_us": event_result.latency,
     }
 
 
@@ -286,13 +423,17 @@ def run_perf_suite(
     """
     cases = QUICK_CASES if quick else FULL_CASES
     speedup_circuits = QUICK_SPEEDUP_CIRCUITS if quick else FULL_SPEEDUP_CIRCUITS
+    event_circuits = (
+        QUICK_EVENT_SPEEDUP_CIRCUITS if quick else FULL_EVENT_SPEEDUP_CIRCUITS
+    )
     report = {
         "schema": BENCH_SCHEMA,
         "mode": "quick" if quick else "full",
         "repeats": repeats,
         "python": platform.python_version(),
         "cases": [time_case(case, repeats) for case in cases],
-        "speedups": [measure_speedup(name, repeats=repeats) for name in speedup_circuits],
+        "speedups": [measure_speedup(name, repeats=repeats) for name in speedup_circuits]
+        + [measure_event_core_speedup(name, repeats=repeats) for name in event_circuits],
         "loadgen": measure_loadgen(),
     }
     if out is not None:
@@ -339,14 +480,45 @@ def format_perf_report(report: dict) -> str:
             f"{entry['speedup']:.2f}x",
         )
         for entry in report["speedups"]
+        if entry.get("kind", "compiled-core") == "compiled-core"
     ]
-    tables.append(
-        format_comparison_table(
-            "Compiled core vs pre-refactor core (identical results)",
-            ["circuit", "baseline (ms)", "compiled (ms)", "speedup"],
-            speedup_rows,
+    if speedup_rows:
+        tables.append(
+            format_comparison_table(
+                "Compiled core vs pre-refactor core (identical results)",
+                ["circuit", "baseline (ms)", "compiled (ms)", "speedup"],
+                speedup_rows,
+            )
         )
-    )
+    event_rows = [
+        (
+            entry["circuit"],
+            round(entry["baseline_seconds"] * 1000, 1),
+            round(entry["event_seconds"] * 1000, 1),
+            f"{entry['speedup']:.2f}x",
+            f"{entry['route_queries_baseline']}->{entry['route_queries_event']}",
+            f"{entry['route_query_speedup']:.2f}x",
+            f"{entry['poll_speedup']:.2f}x",
+        )
+        for entry in report["speedups"]
+        if entry.get("kind") == "event-core"
+    ]
+    if event_rows:
+        tables.append(
+            format_comparison_table(
+                "Event-driven core vs tick-poll loop (identical results)",
+                [
+                    "circuit",
+                    "tick (ms)",
+                    "event (ms)",
+                    "wall",
+                    "route queries",
+                    "queries",
+                    "polls",
+                ],
+                event_rows,
+            )
+        )
     loadgen = report.get("loadgen")
     if loadgen:
         tables.append(

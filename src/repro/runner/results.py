@@ -83,6 +83,11 @@ CSV_FIELDS: tuple[str, ...] = (
     "dijkstra_calls",
     "heap_pops",
     "edge_relaxations",
+    "events_processed",
+    "event_peak_heap",
+    "event_wake_hits",
+    "event_skipped_polls",
+    "event_issue_polls",
     "from_cache",
 )
 
@@ -124,6 +129,12 @@ class CellResult:
         dijkstra_calls: Shortest-route searches executed by the winning pass.
         heap_pops: Heap extractions over those searches.
         edge_relaxations: Distance improvements over those searches.
+        events_processed: Simulation events popped off the event heap.
+        event_peak_heap: Largest number of pending events at once.
+        event_wake_hits: Parked instructions woken by targeted wake keys.
+        event_skipped_polls: Event timestamps whose issue poll was skipped
+            because no blocker changed (0 on the tick-poll loop).
+        event_issue_polls: Times the issue loop was entered.
         from_cache: Whether this record was served from the result cache.
 
     Example::
@@ -161,6 +172,11 @@ class CellResult:
     dijkstra_calls: int = 0
     heap_pops: int = 0
     edge_relaxations: int = 0
+    events_processed: int = 0
+    event_peak_heap: int = 0
+    event_wake_hits: int = 0
+    event_skipped_polls: int = 0
+    event_issue_polls: int = 0
     from_cache: bool = False
 
     @classmethod
@@ -206,6 +222,11 @@ class CellResult:
             dijkstra_calls=result.routing_stats.dijkstra_calls,
             heap_pops=result.routing_stats.heap_pops,
             edge_relaxations=result.routing_stats.edge_relaxations,
+            events_processed=result.event_stats.events_processed,
+            event_peak_heap=result.event_stats.peak_heap_size,
+            event_wake_hits=result.event_stats.wake_hits,
+            event_skipped_polls=result.event_stats.skipped_polls,
+            event_issue_polls=result.event_stats.issue_polls,
         )
 
     @property

@@ -65,7 +65,10 @@ PLACERLESS_MAPPERS: frozenset[str] = frozenset({"quale", "qpos", "ideal"})
 #: Schema 3: the scenario axes (technology, scheduler, routing features)
 #: joined the spec, so schema-2 records — which could not distinguish
 #: scenarios — are never served again.
-CACHE_SCHEMA = 3
+#: Schema 4: records carry the event-driven core's loop counters
+#: (``events_processed`` … ``event_issue_polls``); schema-3 records would
+#: report them as zero, so they are never served again.
+CACHE_SCHEMA = 4
 
 
 @dataclass(frozen=True)

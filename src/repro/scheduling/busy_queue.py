@@ -6,16 +6,29 @@ retried whenever the status of some channel changes (a qubit-exits-channel
 event).  The time an instruction spends in this queue is the paper's
 ``T_congestion`` contribution to its delay (Eq. 1).
 
-Retries are driven by **wake-sets keyed by resource**: a parked instruction
-records the channels that blocked its last routing attempt
-(:meth:`BusyQueue.block_on`), and a qubit-exits-channel event wakes only the
-instructions parked on the released channel (:meth:`BusyQueue.wake`) instead
-of invalidating the whole queue.  Events that change the fabric in ways no
-single channel identifies — a gate finishing (trap occupancy, qubit
-positions) or another instruction issuing (operands vacate their origin
-traps) — wake everything (:meth:`BusyQueue.wake_all`).  An instruction whose
-recorded blockers are all still standing is guaranteed to fail routing
-again, so the issue loop skips it (:meth:`BusyQueue.needs_retry`).
+Retries are driven by **wake-sets keyed by tagged resources**: a parked
+instruction records the resources that blocked its last routing attempt
+(:meth:`BusyQueue.block_on`), and the engine wakes only the instructions
+parked on a resource that actually changed (:meth:`BusyQueue.wake`) instead
+of invalidating the whole queue.  The queue itself treats keys as opaque
+hashables; the router emits four namespaces (see
+:mod:`repro.routing.router`):
+
+* ``("ch", channel_id)`` — a channel on the failure cut; woken when a qubit
+  exits that channel.
+* ``("trap", trap_id)`` — a meeting-trap candidate skipped because it was
+  occupied; woken when an issuing instruction vacates that trap.
+* ``("trapc", trap_id)`` — a free candidate that was tried and found
+  unreachable; woken when an issue *reserves* that trap, which shifts the
+  candidate horizon.
+* ``ANY_CONGESTION_CHANGE`` — the collapse sentinel used when the precise
+  blocker set would be unbounded (or exceeds ``MAX_BLOCKER_KEYS``); woken on
+  every release and every issue, so collapsing is always safe.
+
+Events that change the fabric in ways no key identifies wake everything
+(:meth:`BusyQueue.wake_all`).  An instruction whose recorded blockers are
+all still standing is guaranteed to fail routing again, so the issue loop
+skips it (:meth:`BusyQueue.needs_retry`).
 """
 
 from __future__ import annotations

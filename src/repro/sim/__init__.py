@@ -3,24 +3,44 @@
 The simulator is where scheduling, placement and routing meet: starting from
 an initial placement of qubits in traps, it issues ready instructions in
 priority (or forced-schedule) order, asks the router for operand journeys,
-reserves channel capacity, and advances time through two kinds of events —
-*an instruction finished executing* and *a qubit exited a channel* — exactly
-as described in Section IV.B of the paper.
+reserves channel capacity, and advances time through a timestamp-ordered
+event heap.  The typed events — :class:`InstructionCompleted`,
+:class:`ChannelReleased`, :class:`QubitArrived` and
+:class:`BarrierLevelCleared` — carry exactly the state change they announce,
+so the engine re-attempts issue only for instructions whose blockers
+actually changed (see ``docs/ARCHITECTURE.md``).  The first two correspond
+to the two event kinds of Section IV.B of the paper and keep their
+historical aliases :class:`GateFinished` and :class:`ChannelExited`.
 
-* :mod:`repro.sim.events` — event types and the event queue.
+* :mod:`repro.sim.events` — typed events, the event heap and
+  :class:`EventLoopStats`.
 * :mod:`repro.sim.microcode` — the micro-commands (moves, turns, gates) the
   quantum system controller would issue.
 * :mod:`repro.sim.trace` — the control trace: an ordered log of micro-commands.
 * :mod:`repro.sim.engine` — the :class:`FabricSimulator` itself.
 """
 
-from repro.sim.events import ChannelExited, EventQueue, GateFinished
+from repro.sim.events import (
+    BarrierLevelCleared,
+    ChannelExited,
+    ChannelReleased,
+    EventLoopStats,
+    EventQueue,
+    GateFinished,
+    InstructionCompleted,
+    QubitArrived,
+)
 from repro.sim.microcode import CommandKind, MicroCommand
 from repro.sim.trace import ControlTrace
 from repro.sim.engine import FabricSimulator, InstructionRecord, SimulationOutcome
 
 __all__ = [
     "EventQueue",
+    "EventLoopStats",
+    "InstructionCompleted",
+    "ChannelReleased",
+    "QubitArrived",
+    "BarrierLevelCleared",
     "GateFinished",
     "ChannelExited",
     "CommandKind",

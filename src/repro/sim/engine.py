@@ -11,17 +11,31 @@ paper describes (Sections III and IV.B):
    MVFB backward passes (each a :class:`_CandidateSelector` strategy).
 2. For each candidate the router plans the operand journeys under the current
    congestion; if no finite route exists the instruction is parked in the
-   busy queue on the channels that blocked it (its waiting time is the
-   ``T_congestion`` of Eq. 1).
-3. Issued instructions reserve every channel on their routes; qubit-exits-
-   channel events release the reservations and wake exactly the parked
-   instructions blocked on the released channel; instruction-finished events
-   wake up dependent instructions (and, because trap occupancy changed, the
-   whole busy queue).
+   busy queue on the exact resources that blocked it (its waiting time is
+   the ``T_congestion`` of Eq. 1).
+3. Issued instructions reserve every channel on their routes and push typed
+   events onto a timestamp-ordered heap: ``QubitArrived`` when an operand
+   reaches the meeting trap, ``ChannelReleased`` when it exits a channel,
+   ``InstructionCompleted`` when the gate finishes (and, under barrier
+   scheduling, ``BarrierLevelCleared`` when an ALAP level drains).
+
+The **event core** (the default) re-enters the issue loop only when an
+event's handler reports that some instruction's blockers actually changed:
+releases wake the instructions parked on the released channel, issues wake
+the instructions parked on a vacated or newly reserved trap, and completions
+wake nothing at all — they can be shown never to unblock a parked
+instruction (the meeting trap stays occupied either way, and an in-flight
+instruction never shares qubits with a parked one).  Event timestamps whose
+handlers woke nothing skip the issue poll entirely.  The **tick loop**
+(``event_core=False``) is the pre-event-core behaviour — re-poll the
+candidate pool after every event timestamp — kept selectable for
+differential tests and benchmarks; both cores produce byte-identical
+schedules, latencies and congestion counters.
 
 The outcome carries the total latency, the realised schedule, the final
-placement (needed by the MVFB placer), per-instruction timing records and the
-full micro-command trace.
+placement (needed by the MVFB placer), per-instruction timing records, the
+full micro-command trace and the event loop's own counters
+(:class:`~repro.sim.events.EventLoopStats`).
 """
 
 from __future__ import annotations
@@ -39,12 +53,29 @@ from repro.qidg.graph import QIDG, build_qidg
 from repro.routing.compiled import RoutingCoreStats
 from repro.routing.congestion import CongestionTracker
 from repro.routing.path import RoutePlan
-from repro.routing.router import InstructionRoute, Router, RoutingPolicy, QSPR_POLICY
+from repro.routing.router import (
+    ANY_CONGESTION_CHANGE,
+    InstructionRoute,
+    QSPR_POLICY,
+    Router,
+    RoutingPolicy,
+    candidate_trap_key,
+    channel_key,
+    trap_key,
+)
 from repro.scheduling.busy_queue import BusyQueue
 from repro.scheduling.policies import SchedulingPolicy
 from repro.scheduling.priority import PriorityPolicy
 from repro.scheduling.ready import DependencyTracker
-from repro.sim.events import ChannelExited, EventQueue, GateFinished
+from repro.sim.events import (
+    BarrierLevelCleared,
+    ChannelReleased,
+    Event,
+    EventLoopStats,
+    EventQueue,
+    InstructionCompleted,
+    QubitArrived,
+)
 from repro.sim.microcode import CommandKind, MicroCommand
 from repro.sim.trace import ControlTrace
 from repro.technology import PAPER_TECHNOLOGY, TechnologyParams
@@ -109,6 +140,8 @@ class SimulationOutcome:
             instruction routes (a subset of ``cpu_seconds``).
         routing_stats: Routing-core counters accumulated by this run (route
             cache hits/misses, Dijkstra calls, heap pops, edge relaxations).
+        event_stats: Event-loop counters of this run (events processed, peak
+            heap size, wake hits, skipped issue polls).
     """
 
     latency: float
@@ -124,6 +157,7 @@ class SimulationOutcome:
     cpu_seconds: float = 0.0
     routing_seconds: float = 0.0
     routing_stats: RoutingCoreStats = field(default_factory=RoutingCoreStats)
+    event_stats: EventLoopStats = field(default_factory=EventLoopStats)
 
     @property
     def total_routing_delay(self) -> float:
@@ -147,7 +181,8 @@ class FabricSimulator:
         qidg: QIDG | None = None,
         barrier_scheduling: bool = False,
         compiled_routing: bool = True,
-        busy_wake_sets: bool = False,
+        event_core: bool = True,
+        busy_wake_sets: bool = True,
         shared_route_cache: bool = False,
     ) -> None:
         """Create a simulator.
@@ -180,21 +215,30 @@ class FabricSimulator:
                 ``False`` reproduces the pre-refactor object-based core —
                 results are identical either way; only speed differs.  Kept
                 selectable for differential tests and benchmarks.
+            event_core: Drive the run off the typed event heap and only
+                re-enter the issue loop when an event changed some
+                instruction's blockers (the default).  ``False`` selects the
+                pre-event-core tick loop, which re-polls the candidate pool
+                after every event timestamp.  Schedules, latencies and
+                congestion counters are byte-identical either way; only the
+                number of (futile) router calls — and therefore wall time —
+                differs.  Kept selectable for differential tests and
+                benchmarks.
             busy_wake_sets: Retry a parked instruction only when one of the
-                channels that blocked its last routing attempt is released
-                (wake-sets keyed by channel), instead of re-planning the
-                whole busy queue on every channel-exit event.  Latencies,
-                schedules and movement counts are unchanged; only the
-                number of (futile) router calls drops, so the routing-core
-                counters shrink.  Off by default to keep default-scenario
-                reports byte-stable; turn it on for large congested runs.
+                resources that blocked its last routing attempt changes,
+                instead of re-planning the whole busy queue on every event.
+                On by default since the event core made it the default path;
+                the flag is **deprecated** and kept only so benchmarks and
+                differential tests can reproduce the eager-retry behaviour.
+                Latencies, schedules and movement counts are unchanged; only
+                the number of futile router calls drops.
             shared_route_cache: Let the router consult the cross-run
                 idle-route store memoised on the fabric (see
                 :mod:`repro.routing.shared_cache`): idle-congestion plans
                 are shared by every simulator on the same fabric,
                 technology and routing policy.  Results are identical; only
                 the cache-hit counters change.  Off by default to keep
-                default-scenario reports byte-stable; service workers,
+                default-scenario reports byte-stable — service workers,
                 which run many jobs on one memoised fabric, enable it.
         """
         self.circuit = circuit
@@ -208,6 +252,7 @@ class FabricSimulator:
             raise SimulationError("forced_order is not a topological order of the QIDG")
         self.forced_order = list(forced_order) if forced_order is not None else None
         self.barrier_scheduling = barrier_scheduling
+        self.event_core = event_core
         self.busy_wake_sets = busy_wake_sets
         self.levels: dict[int, int] | None = (
             alap_levels(self.qidg) if barrier_scheduling else None
@@ -238,16 +283,27 @@ class FabricSimulator:
         initial_placement.validate(self.circuit, self.fabric)
 
         state = _RunState(self, initial_placement)
+        stats = state.stats
         state.attempt_issue(0.0)
+        stats.issue_polls += 1
         while state.events:
             event_time, event = state.events.pop()
-            state.process_event(event_time, event)
+            wake = state.process_event(event_time, event)
+            stats.events_processed += 1
             # Drain all events that share this timestamp before re-issuing, so
             # simultaneous channel exits are all visible to the router.
             while state.events and state.events.peek_time() == event_time:
                 _, simultaneous = state.events.pop()
-                state.process_event(event_time, simultaneous)
+                if state.process_event(event_time, simultaneous):
+                    wake = True
+                stats.events_processed += 1
+            if state.gated and not wake:
+                # No handler changed any instruction's blockers: every retry
+                # the issue loop could make is known to fail, so skip it.
+                stats.skipped_polls += 1
+                continue
             state.attempt_issue(event_time)
+            stats.issue_polls += 1
 
         if not state.deps.all_completed:
             outstanding = state.deps.outstanding
@@ -296,8 +352,13 @@ class _CandidateSelector:
     def on_issued(self, index: int) -> None:
         """``index`` was issued."""
 
-    def on_completed(self, index: int) -> None:
-        """``index`` finished executing."""
+    def on_completed(self, index: int) -> int | None:
+        """``index`` finished executing.
+
+        Returns the ALAP level this completion cleared (barrier scheduling
+        only), or ``None``.
+        """
+        return None
 
     @property
     def stop_on_blocked_head(self) -> bool:
@@ -333,7 +394,14 @@ class _PolicyOrderSelector(_CandidateSelector):
 
 
 class _BarrierLevelSelector(_CandidateSelector):
-    """Barrier mode (QUALE): only the lowest unfinished ALAP level may issue."""
+    """Barrier mode (QUALE): only the lowest unfinished ALAP level may issue.
+
+    The open level is tracked incrementally: instructions only ever issue
+    from the current level, so completions drain the levels strictly in
+    order and the cursor simply advances when the current level's last
+    instruction finishes (the engine then emits a
+    :class:`~repro.sim.events.BarrierLevelCleared` event on the event core).
+    """
 
     def __init__(self, state: "_RunState") -> None:
         super().__init__(state)
@@ -342,19 +410,45 @@ class _BarrierLevelSelector(_CandidateSelector):
         self.level_remaining: dict[int, int] = {}
         for level in self.levels.values():
             self.level_remaining[level] = self.level_remaining.get(level, 0) + 1
+        self._level_order = sorted(self.level_remaining)
+        self._cursor = 0
+        self._dirty = True
+        self._ordered: list[int] = []
+
+    @property
+    def current_level(self) -> int | None:
+        """The lowest ALAP level with unfinished instructions."""
+        if self._cursor < len(self._level_order):
+            return self._level_order[self._cursor]
+        return None
 
     def candidates(self) -> list[int]:
-        open_levels = [
-            level for level, remaining in self.level_remaining.items() if remaining > 0
-        ]
-        pool = self.state.pool
-        if open_levels:
-            current_level = min(open_levels)
-            pool = {index for index in pool if self.levels[index] == current_level}
-        return self.state.sim.scheduler.order(pool, self.state.sim.priorities)
+        if self._dirty:
+            level = self.current_level
+            pool = self.state.pool
+            if level is not None:
+                pool = {index for index in pool if self.levels[index] == level}
+            self._ordered = self.state.sim.scheduler.order(
+                pool, self.state.sim.priorities
+            )
+            self._dirty = False
+        return self._ordered
 
-    def on_completed(self, index: int) -> None:
-        self.level_remaining[self.levels[index]] -= 1
+    def on_pool_changed(self) -> None:
+        self._dirty = True
+
+    def on_completed(self, index: int) -> int | None:
+        level = self.levels[index]
+        self.level_remaining[level] -= 1
+        if level != self.current_level or self.level_remaining[level] > 0:
+            return None
+        while (
+            self._cursor < len(self._level_order)
+            and self.level_remaining[self._level_order[self._cursor]] == 0
+        ):
+            self._cursor += 1
+        self._dirty = True
+        return level
 
 
 class _ForcedOrderSelector(_CandidateSelector):
@@ -407,6 +501,12 @@ class _RunState:
             self.records[index] = InstructionRecord(index=index, ready_time=0.0)
         self.routes: dict[int, InstructionRoute] = {}
         self.pool: set[int] = set(self.ready)
+        self.stats = EventLoopStats()
+        self.event_core = sim.event_core
+        # Operands of issued-but-unfinished instructions still under way
+        # (event core only): instruction index → outstanding QubitArrived
+        # events.  The last arrival schedules the completion.
+        self.pending_arrivals: dict[int, int] = {}
         if sim.forced_order is not None:
             self.selector: _CandidateSelector = _ForcedOrderSelector(self)
         elif sim.levels is not None:
@@ -419,6 +519,10 @@ class _RunState:
         self.use_wake_sets = sim.busy_wake_sets and isinstance(
             self.selector, _PolicyOrderSelector
         )
+        # Skip issue polls after wake-less event timestamps only when the
+        # wake bookkeeping is precise: the event core records per-resource
+        # blockers, so "nothing woke" proves every possible retry fails.
+        self.gated = self.event_core and self.use_wake_sets
         self.routing_seconds = 0.0
         self._stats_baseline = sim.router.stats.snapshot()
 
@@ -441,25 +545,35 @@ class _RunState:
                     and index not in self.ready
                     and not self.busy.needs_retry(index)
                 ):
-                    # Parked with every recorded blocking channel still at
-                    # capacity: planning is pure, so the retry would fail
-                    # exactly as it did last time.  Skip the router call.
+                    # Parked with every recorded blocker still standing:
+                    # planning is pure, so the retry would fail exactly as it
+                    # did last time.  Skip the router call.
                     continue
                 instruction = self.sim.qidg.instruction(index)
+                # With wake-sets on, ask the router *why* planning failed:
+                # the returned keys (full channels, occupancy-relevant traps,
+                # the congestion-change sentinel) are this instruction's
+                # wake-set.  Both cores share the precise keys — coarser
+                # blockers (full channels only) miss route-choice-dependent
+                # failures, where releasing a channel the failure never
+                # touched still flips the outcome by changing which source
+                # route the planner prefers.
+                blockers: set | None = set() if self.use_wake_sets else None
                 plan_started = _time.perf_counter()
                 route = self.sim.router.plan_instruction(
                     instruction,
                     self.positions,
                     self.congestion,
                     occupied_traps=self._occupied_traps_for(instruction),
+                    blockers=blockers,
                 )
                 self.routing_seconds += _time.perf_counter() - plan_started
                 if route is None:
                     if index in self.ready:
                         self.ready.discard(index)
                         self.busy.park(index, now)
-                    if self.use_wake_sets:
-                        self.busy.block_on(index, self.congestion.full_channels())
+                    if blockers is not None:
+                        self.busy.block_on(index, blockers)
                     if self.selector.stop_on_blocked_head:
                         return
                     continue
@@ -477,10 +591,6 @@ class _RunState:
         self.pool.discard(index)
         self.selector.on_pool_changed()
         self.selector.on_issued(index)
-        # Issuing vacates the operands' origin traps, which may open new
-        # meeting traps for every parked instruction: invalidate all
-        # wake-sets so the whole queue is retried.
-        self.busy.wake_all()
         self.deps.mark_issued(index)
         self.schedule.append(index)
 
@@ -505,9 +615,11 @@ class _RunState:
         # Operands leave their traps and become in-flight.
         offsets = route.plan_start_offsets()
         channel_exits: dict = {}
+        origin_traps: set[TrapId] = set()
         for plan, offset in zip(route.plans, offsets):
             qubit = plan.qubit
             origin = self.positions[qubit]
+            origin_traps.add(origin)
             residents = self.resting.get(origin)
             if residents is not None:
                 residents.discard(qubit)
@@ -523,10 +635,15 @@ class _RunState:
                     if previous is None or exit_time > previous[1]:
                         channel_exits[key] = (qubit, exit_time)
                 else:
-                    self.events.push(exit_time, ChannelExited(qubit, channel_id))
+                    self.events.push(exit_time, ChannelReleased(qubit, channel_id))
+            if self.event_core:
+                self.events.push(
+                    now + offset + plan.duration,
+                    QubitArrived(qubit, route.target_trap, index),
+                )
             self._emit_plan_commands(plan, now + offset, index)
         for channel_id, (qubit, exit_time) in channel_exits.items():
-            self.events.push(exit_time, ChannelExited(qubit, channel_id))
+            self.events.push(exit_time, ChannelReleased(qubit, channel_id))
 
         gate_qubits = tuple(instruction.qubit_names)
         self.trace.add(
@@ -540,7 +657,27 @@ class _RunState:
                 instruction.gate.name,
             )
         )
-        self.events.push(record.finish_time, GateFinished(index, route.target_trap))
+        if self.event_core:
+            # The last QubitArrived event schedules the completion.
+            self.pending_arrivals[index] = len(route.plans)
+        else:
+            self.events.push(
+                record.finish_time, InstructionCompleted(index, route.target_trap)
+            )
+        if self.use_wake_sets:
+            # Issuing changes exactly two kinds of blocker state: the
+            # operands' origin traps lost a qubit (they may now be legal
+            # meeting traps for an instruction parked on their occupancy)
+            # and the meeting trap became reserved (it shifts the candidate
+            # horizon of anyone who tried it while it was free).  The
+            # reservations also shift congestion weights, which
+            # route-choice-dependent failures are parked on.
+            woken = 0
+            for trap in origin_traps:
+                woken += len(self.busy.wake(trap_key(trap)))
+            woken += len(self.busy.wake(candidate_trap_key(route.target_trap)))
+            woken += len(self.busy.wake(ANY_CONGESTION_CHANGE))
+            self.stats.wake_hits += woken
 
     def _emit_plan_commands(self, plan: RoutePlan, start: float, index: int) -> None:
         clock = start
@@ -574,14 +711,49 @@ class _RunState:
     # ------------------------------------------------------------------
     # Event handling
     # ------------------------------------------------------------------
-    def process_event(self, now: float, event: GateFinished | ChannelExited) -> None:
-        if isinstance(event, ChannelExited):
-            self.congestion.release(event.channel_id)
-            # Wake only the instructions parked on the released channel; the
-            # rest of the busy queue is provably still unroutable.
-            self.busy.wake(event.channel_id)
-            return
-        # GateFinished
+    def process_event(self, now: float, event: Event) -> bool:
+        """Apply ``event`` to the run state.
+
+        Returns whether the event may have changed some instruction's
+        routability — the event core only re-enters the issue loop when a
+        handler in the current timestamp's batch reports ``True``.
+        """
+        if isinstance(event, ChannelReleased):
+            was_full = self.congestion.release(event.channel_id)
+            if self.use_wake_sets:
+                # A capacity-opening release retries the instructions parked
+                # on this channel; any release also retries the instructions
+                # whose failure depended on a route *choice* (the sentinel) —
+                # lowering a congestion weight can change which source route
+                # the planner prefers and thereby flip a failure.
+                woken = self.busy.wake(channel_key(event.channel_id)) if was_full else []
+                woken += self.busy.wake(ANY_CONGESTION_CHANGE)
+                self.stats.wake_hits += len(woken)
+            else:
+                woken = []
+            if not self.event_core:
+                return True
+            return bool(woken)
+        if isinstance(event, QubitArrived):
+            remaining = self.pending_arrivals[event.instruction_index] - 1
+            if remaining:
+                self.pending_arrivals[event.instruction_index] = remaining
+            else:
+                del self.pending_arrivals[event.instruction_index]
+                record = self.records[event.instruction_index]
+                self.events.push(
+                    record.finish_time,
+                    InstructionCompleted(event.instruction_index, event.trap_id),
+                )
+            # Arrival alone changes nothing a parked instruction is blocked
+            # on: positions and trap occupancy update at completion.
+            return False
+        if isinstance(event, BarrierLevelCleared):
+            # The selector already advanced its cursor when the last
+            # instruction of the level completed; the event's job is to force
+            # an issue poll for the newly opened level.
+            return True
+        # InstructionCompleted
         index = event.instruction_index
         route = self.routes[index]
         for plan in route.plans:
@@ -590,15 +762,25 @@ class _RunState:
             self.positions[qubit] = route.target_trap
             self.resting.setdefault(route.target_trap, set()).add(qubit)
         self.reserved_traps.discard(route.target_trap)
-        # Trap occupancy and qubit positions changed: every parked
-        # instruction may have gained a meeting trap, so retry them all.
-        self.busy.wake_all()
-        self.selector.on_completed(index)
+        if not self.event_core:
+            # Tick loop: trap occupancy and qubit positions changed — retry
+            # every parked instruction.  (The event core proves completions
+            # never unblock a parked instruction: the meeting trap stays
+            # occupied — reserved before, holding the finished operands
+            # after — and an in-flight instruction never shares a qubit with
+            # a parked one, so no blocker state changes.)
+            self.busy.wake_all()
+        cleared_level = self.selector.on_completed(index)
+        if self.event_core and cleared_level is not None:
+            self.events.push(now, BarrierLevelCleared(cleared_level))
+        woke = False
         for newly_ready in self.deps.mark_completed(index):
             self.ready.add(newly_ready)
             self.pool.add(newly_ready)
             self.selector.on_pool_changed()
             self.records[newly_ready] = InstructionRecord(index=newly_ready, ready_time=now)
+            woke = True
+        return woke
 
     # ------------------------------------------------------------------
     # Outcome
@@ -610,6 +792,7 @@ class _RunState:
         final_placement = Placement(
             {qubit: trap for qubit, trap in self.positions.items()}
         )
+        self.stats.peak_heap_size = self.events.peak_size
         return SimulationOutcome(
             latency=latency,
             schedule=self.schedule,
@@ -626,6 +809,7 @@ class _RunState:
             cpu_seconds=cpu_seconds,
             routing_seconds=self.routing_seconds,
             routing_stats=self.sim.router.stats.since(self._stats_baseline),
+            event_stats=self.stats,
         )
 
 

@@ -1,24 +1,32 @@
-"""Simulation events and the time-ordered event queue.
+"""Simulation events, the time-ordered event queue and its counters.
 
-Two event types drive the simulation (paper Section IV.B):
+Four event types drive the event core (paper Section IV.B describes the
+first two; the other two are bookkeeping events of the event-driven engine):
 
-* :class:`GateFinished` — execution of an instruction finished; its dependent
-  instructions may become ready.
-* :class:`ChannelExited` — a qubit left a channel; the channel's congestion
-  weight drops and busy-queued instructions are retried.
+* :class:`InstructionCompleted` — execution of an instruction finished; its
+  dependent instructions may become ready.
+* :class:`ChannelReleased` — a qubit left a channel; the channel's congestion
+  weight drops and busy-queued instructions parked on it are retried.
+* :class:`QubitArrived` — an operand reached the meeting trap; when the last
+  operand of an instruction arrives, its completion is scheduled.
+* :class:`BarrierLevelCleared` — every instruction of an ALAP level finished
+  (barrier scheduling only); the next level becomes eligible.
+
+``GateFinished`` and ``ChannelExited`` remain importable as aliases of the
+first two for backwards compatibility.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.fabric.components import ChannelId
 
 
 @dataclass(frozen=True)
-class GateFinished:
+class InstructionCompleted:
     """Execution of instruction ``instruction_index`` finished in ``trap_id``."""
 
     instruction_index: int
@@ -26,26 +34,85 @@ class GateFinished:
 
 
 @dataclass(frozen=True)
-class ChannelExited:
+class ChannelReleased:
     """Qubit ``qubit`` left channel ``channel_id``."""
 
     qubit: str
     channel_id: ChannelId
 
 
-Event = GateFinished | ChannelExited
+@dataclass(frozen=True)
+class QubitArrived:
+    """Operand ``qubit`` of ``instruction_index`` arrived in trap ``trap_id``."""
+
+    qubit: str
+    trap_id: int
+    instruction_index: int
+
+
+@dataclass(frozen=True)
+class BarrierLevelCleared:
+    """Every instruction of ALAP level ``level`` finished (barrier mode)."""
+
+    level: int
+
+
+#: Backwards-compatible aliases (pre-event-core names).
+GateFinished = InstructionCompleted
+ChannelExited = ChannelReleased
+
+Event = InstructionCompleted | ChannelReleased | QubitArrived | BarrierLevelCleared
+
+
+@dataclass
+class EventLoopStats:
+    """Counters of one simulation run's event loop.
+
+    The event core's analogue of
+    :class:`~repro.routing.compiled.RoutingCoreStats`: cheap integers that
+    make the loop's behaviour observable in summaries, sweep CSVs and the
+    benchmark harness.
+
+    Attributes:
+        events_processed: Events popped off the heap.
+        peak_heap_size: Largest number of events pending at once.
+        wake_hits: Parked instructions woken by a targeted wake (a released
+            channel or a changed trap naming them as blocker).
+        skipped_polls: Event timestamps after which the issue loop was *not*
+            re-entered because no instruction's blockers changed (the event
+            core's whole point; always 0 on the tick loop).
+        issue_polls: Times the issue loop was entered.
+    """
+
+    events_processed: int = 0
+    peak_heap_size: int = 0
+    wake_hits: int = 0
+    skipped_polls: int = 0
+    issue_polls: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters under stable report/CSV keys."""
+        return {
+            "events_processed": self.events_processed,
+            "event_peak_heap": self.peak_heap_size,
+            "event_wake_hits": self.wake_hits,
+            "event_skipped_polls": self.skipped_polls,
+            "event_issue_polls": self.issue_polls,
+        }
 
 
 class EventQueue:
     """A time-ordered queue of simulation events.
 
     Events at equal times are delivered in insertion order, which keeps the
-    simulation deterministic.
+    simulation deterministic.  The queue tracks its own high-water mark
+    (:attr:`peak_size`) for :class:`EventLoopStats`.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = 0
+        self._peak = 0
 
     def push(self, time: float, event: Event) -> None:
         """Schedule ``event`` at ``time``.
@@ -57,6 +124,8 @@ class EventQueue:
             raise SimulationError(f"cannot schedule an event at negative time {time}")
         heapq.heappush(self._heap, (time, self._counter, event))
         self._counter += 1
+        if len(self._heap) > self._peak:
+            self._peak = len(self._heap)
 
     def pop(self) -> tuple[float, Event]:
         """Remove and return the earliest event as ``(time, event)``.
@@ -72,6 +141,11 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Time of the next event, or ``None`` when the queue is empty."""
         return self._heap[0][0] if self._heap else None
+
+    @property
+    def peak_size(self) -> int:
+        """Largest number of events that were ever pending at once."""
+        return self._peak
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -13,22 +13,32 @@ class ControlTrace:
 
     def __init__(self, commands: Iterable[MicroCommand] = ()) -> None:
         self._commands: list[MicroCommand] = list(commands)
+        self._sorted: tuple[MicroCommand, ...] | None = None
 
     def add(self, command: MicroCommand) -> None:
         """Append one command."""
         self._commands.append(command)
+        self._sorted = None
 
     def extend(self, commands: Iterable[MicroCommand]) -> None:
         """Append several commands."""
         self._commands.extend(commands)
+        self._sorted = None
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def commands(self) -> tuple[MicroCommand, ...]:
-        """All commands sorted by start time (ties by insertion order)."""
-        return tuple(sorted(self._commands, key=lambda c: c.start))
+        """All commands sorted by start time (ties by insertion order).
+
+        The sorted view is cached between mutations: reporting code walks it
+        repeatedly (per-qubit and per-instruction projections), and Python's
+        sort is near-linear on the already-sorted cached input anyway.
+        """
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._commands, key=lambda c: c.start))
+        return self._sorted
 
     def __iter__(self) -> Iterator[MicroCommand]:
         return iter(self.commands)

@@ -11,7 +11,10 @@ exactly.
 A second gate proves the compiled core and the pre-refactor legacy core
 produce identical mapping results: their summaries must agree line for line
 once the core-implementation counters (cache traffic, heap pops), which
-legitimately differ between cores, are stripped.
+legitimately differ between cores, are stripped.  A third gate does the same
+for the event-driven simulation core against the tick-poll issue loop
+(``event_core=False, busy_wake_sets=False``): the loop counters differ (the
+whole point is fewer polls), the mapping must not.
 
 Regenerate the snapshots after an *intentional* output change with::
 
@@ -45,12 +48,27 @@ CASES: tuple[tuple[str, str, dict], ...] = (
 _CPU_LINE = re.compile(r"^(  mapping CPU time  : ).*$", re.MULTILINE)
 #: Core-implementation counters; legitimately differ between the compiled
 #: and the legacy core (the legacy kernel counts no pops/relaxations and the
-#: legacy configuration runs without the route cache).
-_CORE_LINES = re.compile(r"^  (route cache|dijkstra core)\s*: .*\n", re.MULTILINE)
+#: legacy configuration runs without the route cache) and between the event
+#: core and the tick loop (fewer polls, fewer futile route queries).
+_CORE_LINES = re.compile(
+    r"^  (route cache|dijkstra core|event loop)\s*: .*\n", re.MULTILINE
+)
 
 
-def _summarise(circuit_name: str, mapper_kwargs: dict, *, compiled: bool) -> str:
-    options = MapperOptions(compiled_routing=compiled, **mapper_kwargs)
+def _summarise(
+    circuit_name: str,
+    mapper_kwargs: dict,
+    *,
+    compiled: bool = True,
+    event_core: bool = True,
+    busy_wake_sets: bool = True,
+) -> str:
+    options = MapperOptions(
+        compiled_routing=compiled,
+        event_core=event_core,
+        busy_wake_sets=busy_wake_sets,
+        **mapper_kwargs,
+    )
     fabric = small_fabric(junction_rows=6, junction_cols=6)
     result = QsprMapper(options).map(qecc_encoder(circuit_name), fabric)
     return result.summary()
@@ -62,9 +80,13 @@ def _normalise(summary: str) -> str:
 
 def _strip_core_counters(summary: str) -> str:
     text = _CORE_LINES.sub("", summary)
-    # The options line spells out the selected core; equal results are the
-    # point, so the core choice is normalised away as well.
-    return text.replace(" core=legacy", "")
+    # The options line spells out the selected cores; equal results are the
+    # point, so the core choices are normalised away as well.
+    return (
+        text.replace(" core=legacy", "")
+        .replace(" sim=tick", "")
+        .replace(" wake_sets=False", "")
+    )
 
 
 @pytest.mark.parametrize("name, circuit, kwargs", CASES, ids=[c[0] for c in CASES])
@@ -86,3 +108,12 @@ def test_compiled_and_legacy_cores_agree(name, circuit, kwargs):
     compiled = _strip_core_counters(_normalise(_summarise(circuit, kwargs, compiled=True)))
     legacy = _strip_core_counters(_normalise(_summarise(circuit, kwargs, compiled=False)))
     assert compiled == legacy
+
+
+@pytest.mark.parametrize("name, circuit, kwargs", CASES, ids=[c[0] for c in CASES])
+def test_event_core_and_tick_loop_agree(name, circuit, kwargs):
+    event = _strip_core_counters(_normalise(_summarise(circuit, kwargs)))
+    tick = _strip_core_counters(
+        _normalise(_summarise(circuit, kwargs, event_core=False, busy_wake_sets=False))
+    )
+    assert event == tick

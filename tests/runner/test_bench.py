@@ -12,7 +12,9 @@ from repro.runner.bench import (
     LARGEST_CIRCUIT,
     BenchCase,
     QUICK_CASES,
+    QUICK_EVENT_SPEEDUP_CIRCUITS,
     format_perf_report,
+    measure_event_core_speedup,
     measure_speedup,
     run_perf_suite,
     time_case,
@@ -50,6 +52,29 @@ class TestMeasureSpeedup:
         )
 
 
+class TestMeasureEventCoreSpeedup:
+    def test_legs_agree_and_work_ratios_are_recorded(self):
+        entry = measure_event_core_speedup("[[9,1,3]]", fabric_name="small", repeats=1)
+        assert entry["kind"] == "event-core"
+        assert entry["technology"] == "cap-1"
+        assert entry["baseline_seconds"] > 0
+        assert entry["event_seconds"] > 0
+        assert entry["speedup"] > 0
+        assert entry["latency_us"] > 0
+        # The work ratios are deterministic: the event core never does more
+        # issue polls or route queries than the tick loop.
+        assert entry["route_queries_event"] <= entry["route_queries_baseline"]
+        assert entry["route_query_speedup"] >= 1.0
+        assert entry["issue_polls_event"] <= entry["issue_polls_baseline"]
+        assert entry["poll_speedup"] >= 1.0
+        assert entry["skipped_polls"] >= 0
+
+    def test_quick_cases_include_the_scaled_qecc_family(self):
+        assert any(
+            name.startswith("qecc-scaled") for name in QUICK_EVENT_SPEEDUP_CIRCUITS
+        )
+
+
 class TestRunPerfSuite:
     @pytest.fixture(scope="class")
     def report(self, tmp_path_factory):
@@ -64,6 +89,15 @@ class TestRunPerfSuite:
         assert len(data["cases"]) == len(QUICK_CASES)
         assert data["speedups"]
 
+    def test_speedup_entries_are_kind_discriminated(self, report):
+        data, _ = report
+        kinds = {entry["kind"] for entry in data["speedups"]}
+        assert kinds == {"compiled-core", "event-core"}
+        event = [e for e in data["speedups"] if e["kind"] == "event-core"]
+        assert len(event) == len(QUICK_EVENT_SPEEDUP_CIRCUITS)
+        for entry in event:
+            assert entry["route_query_speedup"] >= 1.0
+
     def test_written_file_round_trips(self, report):
         data, out = report
         assert json.loads(out.read_text()) == data
@@ -73,8 +107,11 @@ class TestRunPerfSuite:
         text = format_perf_report(data)
         assert "Pipeline timings" in text
         assert "pre-refactor core" in text
+        assert "tick-poll loop" in text
         for case in data["cases"]:
             assert case["circuit"] in text
+        for entry in data["speedups"]:
+            assert entry["circuit"] in text
 
 
 class TestBenchCli:

@@ -83,37 +83,55 @@ class TestBusyQueueWakeSets:
         assert queue.needs_retry(1)
 
 
-def _run(circuit_name: str, *, busy_wake_sets: bool):
+def _run(circuit_name: str, *, event_core: bool, busy_wake_sets: bool):
     circuit = qecc_encoder(circuit_name)
     fabric = small_fabric(junction_rows=6, junction_cols=6)
-    sim = FabricSimulator(circuit, fabric, busy_wake_sets=busy_wake_sets)
+    sim = FabricSimulator(
+        circuit, fabric, event_core=event_core, busy_wake_sets=busy_wake_sets
+    )
     placement = CenterPlacer(fabric).place(circuit)
     return sim.run(placement)
 
 
+def _assert_same_outcome(eager, lazy):
+    assert lazy.latency == eager.latency
+    assert lazy.schedule == eager.schedule
+    assert lazy.total_moves == eager.total_moves
+    assert lazy.total_turns == eager.total_turns
+    assert lazy.total_congestion_delay == eager.total_congestion_delay
+    assert lazy.busy_queue_entries == eager.busy_queue_entries
+    assert lazy.final_placement.as_dict() == eager.final_placement.as_dict()
+    for index, record in eager.records.items():
+        other = lazy.records[index]
+        assert (other.issue_time, other.finish_time, other.target_trap) == (
+            record.issue_time, record.finish_time, record.target_trap
+        )
+
+
 class TestEngineEquivalence:
     @pytest.mark.parametrize("circuit", ["[[9,1,3]]", "[[23,1,7]]"])
-    def test_results_identical_with_fewer_router_calls(self, circuit):
-        eager = _run(circuit, busy_wake_sets=False)
-        lazy = _run(circuit, busy_wake_sets=True)
+    def test_results_identical_with_fewer_issue_polls(self, circuit):
+        eager = _run(circuit, event_core=False, busy_wake_sets=False)
+        lazy = _run(circuit, event_core=True, busy_wake_sets=True)
 
-        assert lazy.latency == eager.latency
-        assert lazy.schedule == eager.schedule
-        assert lazy.total_moves == eager.total_moves
-        assert lazy.total_turns == eager.total_turns
-        assert lazy.total_congestion_delay == eager.total_congestion_delay
-        assert lazy.busy_queue_entries == eager.busy_queue_entries
-        assert lazy.final_placement.as_dict() == eager.final_placement.as_dict()
-        for index, record in eager.records.items():
-            other = lazy.records[index]
-            assert (other.issue_time, other.finish_time, other.target_trap) == (
-                record.issue_time, record.finish_time, record.target_trap
-            )
+        _assert_same_outcome(eager, lazy)
 
-        # The congested runs park instructions; wake-sets must skip at least
-        # some futile retries there (that is the point of the fix).
+        # The congested runs park instructions; the event core must skip at
+        # least some wake-less timestamps there (that is its whole point).
         assert eager.busy_queue_entries > 0
-        assert lazy.routing_stats.dijkstra_calls < eager.routing_stats.dijkstra_calls
+        assert lazy.event_stats.skipped_polls > 0
+        assert lazy.event_stats.issue_polls < eager.event_stats.issue_polls
+        # The tick loop never gates, so it never skips a poll.
+        assert eager.event_stats.skipped_polls == 0
+
+    @pytest.mark.parametrize("event_core", [False, True])
+    @pytest.mark.parametrize("busy_wake_sets", [False, True])
+    def test_all_core_flag_combinations_agree(self, event_core, busy_wake_sets):
+        baseline = _run("[[9,1,3]]", event_core=False, busy_wake_sets=False)
+        other = _run(
+            "[[9,1,3]]", event_core=event_core, busy_wake_sets=busy_wake_sets
+        )
+        _assert_same_outcome(baseline, other)
 
     def test_wake_sets_disabled_for_forced_order(self):
         circuit = qecc_encoder("[[5,1,3]]")
