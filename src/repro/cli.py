@@ -23,7 +23,13 @@ service workflows:
   store, a worker pool and the HTTP JSON API (see ``docs/SERVICE.md``).
 * ``qspr-map submit`` / ``status`` / ``jobs`` / ``cancel`` — the service
   client: submit specs or whole sweeps over HTTP (``submit --wait`` polls to
-  completion), inspect and cancel jobs.
+  completion), inspect and cancel jobs.  ``status`` without a job id prints
+  the ``/healthz`` document; ``jobs prune --retention-days N`` ages out
+  terminal jobs straight from the store file and VACUUMs it.
+* ``qspr-map top`` — live ANSI dashboard over a job store: queue depth,
+  throughput, latency percentiles from the persisted histograms, worker
+  leases and the route-cache hit rate (``--once --json`` for scripts; see
+  ``docs/OBSERVABILITY.md``).
 * ``qspr-map cache`` — inspect (``info``) or age-out (``prune``) the on-disk
   result cache shared by sweeps and the service.
 * ``qspr-map replay`` / ``loadgen`` — the workload subsystem's load
@@ -107,7 +113,7 @@ from repro.viz.trace_render import render_gantt
 _COMMANDS = (
     "run", "sweep", "report", "bench", "list",
     "serve", "submit", "status", "jobs", "cancel", "cache",
-    "replay", "loadgen",
+    "replay", "loadgen", "top",
 )
 
 #: Default URL of the service client subcommands.
@@ -482,6 +488,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the shared result cache (jobs still dedup against each other)",
     )
+    serve_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission watermark: POST /jobs answers 429 once this many "
+        "jobs are queued (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=2.0,
+        help="Retry-After seconds served with admission 429s (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--log-file",
+        default=None,
+        help="structured JSONL log path (default: <out>/service.log.jsonl; "
+        '"none" disables structured logging)',
+    )
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit a spec or sweep to a running mapping service"
@@ -501,14 +526,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     status_parser = subparsers.add_parser(
-        "status", help="show one service job's lifecycle record"
+        "status", help="show service health, or one job's lifecycle record"
     )
-    status_parser.add_argument("job", help="job id returned by submit")
+    status_parser.add_argument(
+        "job",
+        nargs="?",
+        default=None,
+        help="job id returned by submit (omit to print the service's "
+        "/healthz document: version, store schema, workers, queue)",
+    )
     status_parser.add_argument(
         "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
     )
 
-    jobs_parser = subparsers.add_parser("jobs", help="list the service's jobs")
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list the service's jobs, or prune old terminal ones"
+    )
+    jobs_parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("list", "prune"),
+        default="list",
+        help="list jobs over HTTP (default), or prune terminal jobs older "
+        "than --retention-days straight from the store file",
+    )
     jobs_parser.add_argument(
         "--status",
         default=None,
@@ -522,6 +563,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_parser.add_argument(
         "--url", default=_DEFAULT_URL, help=f"service URL (default: {_DEFAULT_URL})"
+    )
+    jobs_parser.add_argument(
+        "--retention-days",
+        type=float,
+        default=None,
+        help="prune: delete terminal jobs finished more than this many days "
+        "ago, then VACUUM the store (required with `jobs prune`)",
+    )
+    jobs_parser.add_argument(
+        "--db",
+        default="service-out/jobs.sqlite3",
+        help="prune: the job-store SQLite file (default: service-out/jobs.sqlite3)",
+    )
+
+    top_parser = subparsers.add_parser(
+        "top", help="live dashboard over a job store (queue, latencies, workers)"
+    )
+    top_parser.add_argument(
+        "--db",
+        default="service-out/jobs.sqlite3",
+        help="job-store SQLite file to watch (default: service-out/jobs.sqlite3)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame (no screen clearing) and exit",
+    )
+    top_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the snapshot as one JSON document (implies --once)",
     )
 
     cancel_parser = subparsers.add_parser("cancel", help="cancel a service job")
@@ -744,9 +822,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         lease_seconds=args.lease_seconds,
         use_threads=args.threads,
+        max_queue_depth=args.max_queue_depth,
+        retry_after_seconds=args.retry_after,
     ).under(args.out)
     if args.no_cache:
         config = replace(config, cache_dir=None)
+    if args.log_file is not None:
+        config = replace(
+            config, log_path=None if args.log_file == "none" else args.log_file
+        )
     service = MappingService(config)
     service.start()
     workers = service.pool.alive_workers()
@@ -838,7 +922,16 @@ def _command_submit(args: argparse.Namespace) -> int:
 
 
 def _command_status(args: argparse.Namespace) -> int:
-    """Show one job's lifecycle record (``qspr-map status``)."""
+    """Show service health, or one job's record (``qspr-map status``)."""
+    if args.job is None:
+        health = _client(args).health()
+        for key in (
+            "status", "version", "schema_version", "workers",
+            "workers_expected", "worker_mode", "queue_depth", "running",
+            "max_queue_depth", "uptime_seconds",
+        ):
+            print(f"{key:<16}: {health.get(key)}")
+        return 0
     job = _client(args).job(args.job)
     for key in (
         "id", "status", "attempts", "worker", "created_at", "started_at",
@@ -852,13 +945,46 @@ def _command_status(args: argparse.Namespace) -> int:
 
 
 def _command_jobs(args: argparse.Namespace) -> int:
-    """List the service's jobs (``qspr-map jobs``)."""
+    """List or prune the service's jobs (``qspr-map jobs [list|prune]``)."""
+    if args.action == "prune":
+        from repro.service import JobStore
+
+        if args.retention_days is None:
+            raise ReproError("`jobs prune` requires --retention-days")
+        if not Path(args.db).exists():
+            raise ReproError(f"job store not found: {args.db}")
+        store = JobStore(args.db)
+        removed = store.prune(retention_days=args.retention_days)
+        counts = store.counts()
+        print(
+            f"pruned {removed} terminal jobs older than "
+            f"{args.retention_days:g} days (store vacuumed)"
+        )
+        print(f"remaining: {sum(counts.values())} jobs ({counts['queued']} queued)")
+        return 0
     jobs = _client(args).jobs(status=args.status, limit=args.limit)
     for job in jobs:
         _print_job_line(job)
     suffix = " (truncated; raise --limit to see more)" if len(jobs) == args.limit else ""
     print(f"{len(jobs)} jobs{suffix}")
     return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    """Live dashboard over one job store (``qspr-map top``)."""
+    from repro.ops.top import run_top
+
+    if not Path(args.db).exists():
+        raise ReproError(
+            f"job store not found: {args.db} (is the service running with "
+            "--out pointing elsewhere?)"
+        )
+    return run_top(
+        args.db,
+        interval=args.interval,
+        once=args.once or args.json,
+        as_json=args.json,
+    )
 
 
 def _command_cancel(args: argparse.Namespace) -> int:
@@ -990,6 +1116,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _command_cache,
         "replay": _command_replay,
         "loadgen": _command_loadgen,
+        "top": _command_top,
     }[args.command]
     try:
         return handler(args)

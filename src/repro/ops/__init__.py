@@ -1,0 +1,34 @@
+"""Operational tooling: Prometheus exposition, structured logging, ``top``.
+
+The package splits along dependency lines:
+
+* :mod:`repro.ops.prom` and :mod:`repro.ops.logging` are leaf modules —
+  the job store and the service import them freely.
+* :mod:`repro.ops.top` sits *above* the service layer (it reads a
+  :class:`~repro.service.store.JobStore`), so it is deliberately **not**
+  imported here; import it directly (the CLI does, lazily).
+"""
+
+from repro.ops.logging import (
+    LoggingObserver,
+    StructuredLogger,
+    new_request_id,
+    read_jsonl,
+)
+from repro.ops.prom import (
+    DEFAULT_SECONDS_BUCKETS,
+    Registry,
+    parse_exposition,
+    quantile,
+)
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "LoggingObserver",
+    "Registry",
+    "StructuredLogger",
+    "new_request_id",
+    "parse_exposition",
+    "quantile",
+    "read_jsonl",
+]

@@ -1,0 +1,175 @@
+"""Structured JSON-lines logging with request/job correlation ids.
+
+Every log record is one JSON object per line: a timestamp, a level, an
+event name, the fields bound on the logger (component, worker id, job id…)
+and the per-call fields.  One ``grep job_id`` over the service log therefore
+reconstructs a job's full lifecycle — submit → claim → per-stage timings →
+route-cache stats → done/failed — across the API process and every worker.
+
+The logger is deliberately tiny and dependency-free:
+
+* :class:`StructuredLogger` — writes JSONL to a path (opened append-mode, so
+  worker *processes* and API threads can share one file; each record is a
+  single ``write`` of one line) or to any file-like stream.  A ``None`` sink
+  disables it: every call becomes a no-op, so call sites never need guards.
+* :meth:`StructuredLogger.child` — a copy with extra bound fields; the
+  worker binds ``job_id`` once and every stage log line inherits it.
+* :class:`LoggingObserver` — a :class:`~repro.pipeline.context.PipelineObserver`
+  that logs each pipeline stage's wall-clock as it finishes, used by the
+  service workers to attribute stage timings to a job id.
+* :func:`new_request_id` — short correlation ids for HTTP access logs.
+
+Example::
+
+    logger = StructuredLogger("service.log.jsonl", component="service")
+    logger.log("service.start", url="http://127.0.0.1:8321")
+    job_logger = logger.child(job_id="2f9ab7c3d1e0")
+    job_logger.log("job.claimed", attempts=1)
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import IO, Union
+
+from repro.pipeline.context import PipelineContext, PipelineObserver
+
+#: Accepted log sinks: a JSONL file path, an open stream, or ``None`` (off).
+Sink = Union[str, Path, IO[str], None]
+
+
+def new_request_id() -> str:
+    """A short collision-resistant correlation id for one HTTP request."""
+    return uuid.uuid4().hex[:12]
+
+
+class StructuredLogger:
+    """A JSON-lines logger with bound fields.
+
+    Example::
+
+        >>> import io
+        >>> stream = io.StringIO()
+        >>> logger = StructuredLogger(stream, component="test")
+        >>> logger.log("hello", answer=42)
+        >>> record = __import__("json").loads(stream.getvalue())
+        >>> record["event"], record["component"], record["answer"]
+        ('hello', 'test', 42)
+    """
+
+    def __init__(self, sink: Sink = None, **bound: object) -> None:
+        self._bound = dict(bound)
+        self._owns_stream = False
+        if sink is None:
+            self._stream: IO[str] | None = None
+        elif isinstance(sink, (str, Path)):
+            path = Path(sink)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Append + line buffering: one write() per record keeps records
+            # intact even when worker processes share the file.
+            self._stream = open(path, "a", buffering=1, encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sink
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records go anywhere (``False`` for a ``None`` sink)."""
+        return self._stream is not None
+
+    def child(self, **fields: object) -> "StructuredLogger":
+        """A logger sharing this sink with extra bound fields.
+
+        Example::
+
+            >>> StructuredLogger(None, a=1).child(b=2)._bound
+            {'a': 1, 'b': 2}
+        """
+        clone = StructuredLogger(None, **{**self._bound, **fields})
+        clone._stream = self._stream
+        clone._lock = self._lock
+        return clone
+
+    def log(self, event: str, *, level: str = "info", **fields: object) -> None:
+        """Emit one record; a no-op when the logger is disabled."""
+        if self._stream is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+            **self._bound,
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=False, default=str) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+            except ValueError:  # stream closed under us (interpreter teardown)
+                self._stream = None
+
+    def close(self) -> None:
+        """Close an owned file sink (streams passed in are left open)."""
+        if self._owns_stream and self._stream is not None:
+            with self._lock:
+                self._stream.close()
+                self._stream = None
+
+
+class LoggingObserver(PipelineObserver):
+    """Logs every pipeline stage's wall-clock as it finishes.
+
+    Attach through :func:`repro.runner.executor.map_spec`'s ``observer``
+    argument (the service workers do) so each ``pipeline.stage`` record
+    carries the job id bound on ``logger``.
+    """
+
+    def __init__(self, logger: StructuredLogger) -> None:
+        self.logger = logger
+
+    def stage_finished(self, stage: str, ctx: PipelineContext, seconds: float) -> None:
+        self.logger.log(
+            "pipeline.stage",
+            stage=stage,
+            seconds=round(seconds, 6),
+            circuit=ctx.circuit.name,
+            fabric=ctx.fabric.name,
+        )
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL log file (skipping torn/blank lines) — test helper.
+
+    Example::
+
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "log.jsonl")
+        >>> logger = StructuredLogger(path); logger.log("one"); logger.close()
+        >>> [record["event"] for record in read_jsonl(path)]
+        ['one']
+    """
+    records = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in io.StringIO(text):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:  # torn write at a crash boundary
+            continue
+    return records
+
+
+__all__ = [
+    "LoggingObserver",
+    "StructuredLogger",
+    "new_request_id",
+    "read_jsonl",
+]

@@ -1,0 +1,426 @@
+"""Dependency-free Prometheus text exposition (format version 0.0.4).
+
+The mapping service exports its operational metrics in the Prometheus
+text format without depending on ``prometheus_client``: a scrape is a pure
+function of the job store, so all this module needs is a tiny registry that
+renders ``# HELP`` / ``# TYPE`` headers and correctly escaped samples.
+
+Three building blocks:
+
+* :class:`Registry` — collects counters, gauges and histograms and renders
+  the exposition document.  Metric and label *names* are validated against
+  the Prometheus grammar; label *values* are escaped per the spec
+  (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline → ``\\n``), so scenario
+  labels such as parameterised circuit names survive verbatim.
+* bucket helpers — :data:`DEFAULT_SECONDS_BUCKETS`, :func:`bucket_index`,
+  :func:`cumulate` and :func:`quantile`, shared by the store's persisted
+  histograms and the ``qspr-map top`` percentile display.
+* :func:`parse_exposition` — a mini-parser of the same format, used by the
+  test-suite and the CI smoke job to assert that what we emit parses back.
+
+Example::
+
+    registry = Registry()
+    registry.gauge("qspr_queue_depth", "Jobs waiting for a worker.", 3)
+    registry.counter("qspr_jobs_finished_total", "Finished jobs.", 17,
+                     labels={"status": "done"})
+    text = registry.render()
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+#: Fixed histogram bounds (seconds) of every duration histogram the service
+#: persists.  Spanning 1 ms to 5 min covers queue waits under saturation as
+#: well as sub-second pipeline stages; fixed buckets keep observations from
+#: different workers and different service restarts mergeable by addition.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the exposition spec.
+
+    Backslash, double-quote and line feed are the three characters the text
+    format cannot carry raw inside ``label="..."``.
+
+    Example::
+
+        >>> escape_label_value('say "hi"\\n')
+        'say \\\\"hi\\\\"\\\\n'
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (backslash and line feed only)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value: ``+Inf`` / ``-Inf`` / ``NaN``, integers plain."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _validated_labels(labels: Mapping[str, object] | None) -> dict:
+    labels = dict(labels or {})
+    for name in labels:
+        if not _LABEL_NAME.match(name):
+            raise ValueError(f"invalid Prometheus label name: {name!r}")
+    return labels
+
+
+def _render_labels(labels: Mapping[str, object] | None) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{name}="{escape_label_value(labels[name])}"' for name in labels
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+@dataclass
+class _Family:
+    """One metric family: a name, a type, a help string and its samples."""
+
+    name: str
+    type: str
+    help: str
+    #: ``(sample suffix, labels, value)`` triples, in insertion order.
+    samples: list[tuple[str, dict, float]] = field(default_factory=list)
+
+
+class Registry:
+    """Collects metric families and renders the exposition document.
+
+    Families keep insertion order; re-adding a name with the same type
+    appends samples (label permutations of one family), re-adding with a
+    different type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, type_: str, help_: str) -> _Family:
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid Prometheus metric name: {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, type_, help_)
+        elif family.type != type_:
+            raise ValueError(
+                f"metric {name!r} registered as {family.type}, not {type_}"
+            )
+        return family
+
+    def counter(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors the exposition keyword
+        value: float,
+        *,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Add one counter sample (cumulative, monotonically non-decreasing)."""
+        family = self._family(name, "counter", help)
+        family.samples.append(("", _validated_labels(labels), float(value)))
+
+    def gauge(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        value: float,
+        *,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Add one gauge sample (a value that can go up and down)."""
+        family = self._family(name, "gauge", help)
+        family.samples.append(("", _validated_labels(labels), float(value)))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        *,
+        bounds: Sequence[float],
+        cumulative: Sequence[int],
+        sum_value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        """Add one histogram series.
+
+        Args:
+            name: Family name (without the ``_bucket``/``_sum`` suffixes).
+            help: The ``# HELP`` string.
+            bounds: Finite upper bounds, ascending; the ``+Inf`` bucket is
+                appended automatically.
+            cumulative: Cumulative bucket counts, one per bound **plus** the
+                final ``+Inf`` count (= the total observation count).
+            sum_value: Sum of every observed value.
+            labels: Extra labels on every sample of the series.
+        """
+        if len(cumulative) != len(bounds) + 1:
+            raise ValueError(
+                f"histogram {name!r}: expected {len(bounds) + 1} cumulative "
+                f"counts (bounds + +Inf), got {len(cumulative)}"
+            )
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r}: bounds must be ascending")
+        if any(later < earlier for earlier, later in zip(cumulative, cumulative[1:])):
+            raise ValueError(f"histogram {name!r}: cumulative counts must be monotone")
+        family = self._family(name, "histogram", help)
+        base = _validated_labels(labels)
+        for bound, count in zip((*bounds, math.inf), cumulative):
+            family.samples.append(
+                ("_bucket", {**base, "le": format_value(bound)}, float(count))
+            )
+        family.samples.append(("_sum", base, float(sum_value)))
+        family.samples.append(("_count", base, float(cumulative[-1])))
+
+    def render(self) -> str:
+        """The full exposition document (ends with a newline)."""
+        lines: list[str] = []
+        for family in self._families.values():
+            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            for suffix, labels, value in family.samples:
+                lines.append(
+                    f"{family.name}{suffix}{_render_labels(labels)} "
+                    f"{format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Bucket math shared by the store's persisted histograms and `top`.
+# ----------------------------------------------------------------------
+def bucket_index(bounds: Sequence[float], value: float) -> int:
+    """Index of the first bucket that holds ``value`` (``len(bounds)`` = +Inf)."""
+    for index, bound in enumerate(bounds):
+        if value <= bound:
+            return index
+    return len(bounds)
+
+
+def cumulate(raw_counts: Sequence[int]) -> list[int]:
+    """Turn per-bucket counts (``+Inf`` last) into cumulative counts.
+
+    Example::
+
+        >>> cumulate([1, 0, 2, 1])
+        [1, 1, 3, 4]
+    """
+    total = 0
+    out = []
+    for count in raw_counts:
+        total += count
+        out.append(total)
+    return out
+
+
+def quantile(bounds: Sequence[float], cumulative: Sequence[int], q: float) -> float:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    Linear interpolation inside the winning bucket, the same estimate
+    PromQL's ``histogram_quantile`` computes.  Observations in the ``+Inf``
+    bucket clamp to the largest finite bound.  Returns ``0.0`` for an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = cumulative[-1] if cumulative else 0
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    for index, bound in enumerate(bounds):
+        if cumulative[index] >= rank:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            below = cumulative[index - 1] if index > 0 else 0
+            in_bucket = cumulative[index] - below
+            if in_bucket <= 0:
+                return bound
+            return lower + (bound - lower) * (rank - below) / in_bucket
+    return bounds[-1] if bounds else 0.0
+
+
+# ----------------------------------------------------------------------
+# Mini-parser (tests + CI smoke).
+# ----------------------------------------------------------------------
+@dataclass
+class ParsedFamily:
+    """One parsed metric family."""
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    #: ``(sample name, labels, value)`` triples, in document order.
+    samples: list[tuple[str, dict[str, str], float]] = field(default_factory=list)
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, *, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip()
+        if not _LABEL_NAME.match(name):
+            raise ValueError(f"bad label name {name!r} in line: {line!r}")
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in line: {line!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while j < len(text):
+            if text[j] == "\\" and j + 1 < len(text):
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if text[j] == '"':
+                break
+            raw.append(text[j])
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in line: {line!r}")
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse a Prometheus text-format document into families.
+
+    Strict enough to catch real emission bugs: unknown sample names (a
+    ``_bucket`` sample without its histogram family), malformed labels and
+    unparsable values all raise :class:`ValueError`.
+    """
+    families: dict[str, ParsedFamily] = {}
+
+    def family(name: str) -> ParsedFamily:
+        return families.setdefault(name, ParsedFamily(name))
+
+    # Split on line feed only: the exposition format terminates records with
+    # \n, and a raw \r is a legal (if unusual) character inside label values.
+    for line in text.split("\n"):
+        line = line.strip("\r\t ")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family(name).help = help_text.replace(r"\n", "\n").replace(r"\\", "\\")
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_name = rest.partition(" ")
+            family(name).type = type_name.strip()
+            continue
+        if line.startswith("#"):
+            continue
+
+        if "{" in line:
+            sample_name, _, rest = line.partition("{")
+            label_text, _, value_text = rest.rpartition("}")
+            labels = _parse_labels(label_text, line=line)
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+        sample_name = sample_name.strip()
+        value = _parse_value(value_text.strip())
+
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                candidate = sample_name[: -len(suffix)]
+                if families[candidate].type == "histogram":
+                    base = candidate
+                break
+        if base not in families:
+            raise ValueError(f"sample {sample_name!r} has no # TYPE header")
+        families[base].samples.append((sample_name, labels, value))
+    return families
+
+
+def histogram_series(
+    family: ParsedFamily, *, labels: Mapping[str, str] | None = None
+) -> tuple[list[tuple[float, float]], float, float]:
+    """Extract one labelled series of a parsed histogram family.
+
+    Returns ``(buckets, sum, count)`` where ``buckets`` is a list of
+    ``(le, cumulative count)`` pairs in document order.  Used by the tests
+    and CI to assert bucket monotonicity.
+    """
+    want = dict(labels or {})
+    buckets: list[tuple[float, float]] = []
+    sum_value = count = 0.0
+    for sample_name, sample_labels, value in family.samples:
+        rest = {k: v for k, v in sample_labels.items() if k != "le"}
+        if rest != want:
+            continue
+        if sample_name.endswith("_bucket"):
+            buckets.append((_parse_value(sample_labels["le"]), value))
+        elif sample_name.endswith("_sum"):
+            sum_value = value
+        elif sample_name.endswith("_count"):
+            count = value
+    return buckets, sum_value, count
+
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "ParsedFamily",
+    "Registry",
+    "bucket_index",
+    "cumulate",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+    "histogram_series",
+    "parse_exposition",
+    "quantile",
+]

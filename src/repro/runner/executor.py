@@ -29,7 +29,13 @@ from repro.runner.spec import ExperimentSpec, Sweep
 ProgressCallback = Callable[[int, int, CellResult], None]
 
 
-def map_spec(spec: ExperimentSpec, *, fabric=None, shared_route_cache: bool = False):
+def map_spec(
+    spec: ExperimentSpec,
+    *,
+    fabric=None,
+    shared_route_cache: bool = False,
+    observer=None,
+):
     """Run one declarative spec end to end and return the full mapping result.
 
     This is the shared task-execution core of both the sweep runner and the
@@ -51,11 +57,20 @@ def map_spec(spec: ExperimentSpec, *, fabric=None, shared_route_cache: bool = Fa
             long-lived ``fabric`` — the store is memoised on the fabric
             instance — which is why the sweep runner leaves it off and the
             service workers turn it on.
+        observer: Optional :class:`~repro.pipeline.context.PipelineObserver`
+            receiving stage start/finish callbacks.  Passed through only to
+            mappers whose ``map`` accepts it (the reference
+            :class:`~repro.pipeline.mappers.IdealMapper` does not).
     """
     circuit = spec.build_circuit()
     if fabric is None:
         fabric = spec.build_fabric()
     mapper = spec.build_mapper(shared_route_cache=shared_route_cache)
+    if observer is not None:
+        from repro.pipeline.facade import _accepts_observer
+
+        if _accepts_observer(mapper.map):
+            return mapper.map(circuit, fabric, observer=observer)
     return mapper.map(circuit, fabric)
 
 

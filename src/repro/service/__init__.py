@@ -21,8 +21,10 @@ crashes (orphaned jobs are requeued when their lease expires).
   ``/metrics``…).
 * :mod:`repro.service.client` — :class:`ServiceClient`, the urllib client
   behind the ``qspr-map submit/status/jobs/cancel`` subcommands.
-* :mod:`repro.service.metrics` — :func:`service_metrics`, queue/throughput/
-  per-stage-seconds aggregation for ``GET /metrics``.
+* :mod:`repro.service.metrics` — :func:`service_metrics` (the JSON document)
+  and :func:`render_prometheus` (the text exposition of ``GET /metrics``),
+  sharing one set of store aggregates; histograms and structured logging
+  come from :mod:`repro.ops` (see ``docs/OBSERVABILITY.md``).
 
 Boot a service and run a job end to end, all in-process::
 
@@ -52,11 +54,12 @@ from repro.service.jobs import (
     QUEUED,
     RUNNING,
     STATUSES,
+    AdmissionError,
     Job,
     spec_from_payload,
     sweep_from_payload,
 )
-from repro.service.metrics import service_metrics
+from repro.service.metrics import render_prometheus, service_metrics
 from repro.service.store import JobStore
 from repro.service.worker import WorkerPool, execute_job, worker_loop
 
@@ -67,6 +70,7 @@ __all__ = [
     "QUEUED",
     "RUNNING",
     "STATUSES",
+    "AdmissionError",
     "Job",
     "JobStore",
     "MappingService",
@@ -75,6 +79,7 @@ __all__ = [
     "ServiceError",
     "WorkerPool",
     "execute_job",
+    "render_prometheus",
     "service_metrics",
     "spec_from_payload",
     "sweep_from_payload",

@@ -11,15 +11,26 @@ GET       ``/jobs``               List jobs (``?status=queued`` filters)
 GET       ``/jobs/{id}``          One job's lifecycle record
 GET       ``/jobs/{id}/result``   The flat mapping result of a done job
 POST      ``/jobs/{id}/cancel``   Cancel a queued/running job
-GET       ``/healthz``            Liveness + worker/queue gauges
-GET       ``/metrics``            Aggregated service metrics
+GET       ``/healthz``            Version, schema, worker liveness, queue
+GET       ``/metrics``            Prometheus text exposition (JSON when
+                                  the ``Accept`` header asks for it)
+GET       ``/metrics.json``       The JSON metrics document, always
 ========  ======================  =====================================
 
 ``POST /jobs`` accepts either ``{"spec": {...ExperimentSpec fields...}}``,
 the spec fields directly, or ``{"sweep": {...Sweep axes...}}``.  Specs are
 validated against the :mod:`repro.pipeline` registries *at enqueue time* —
 an unknown mapper, placer or circuit is a 400 with a did-you-mean message,
-not a job that fails later.
+not a job that fails later.  When the queue sits at the configured
+admission watermark (:attr:`~repro.service.config.ServiceConfig.max_queue_depth`),
+submission is a ``429`` with a ``Retry-After`` header instead — load is
+shed at the front door rather than by unbounded queue growth.
+
+Every request gets a ``request_id`` (echoed in the ``X-Request-Id``
+response header) and one structured access-log record; job submissions
+additionally log one ``job.submitted`` record per job, carrying the
+``job_id`` that correlates the worker-side lifecycle records (see
+:mod:`repro.ops.logging` and ``docs/OBSERVABILITY.md``).
 
 :class:`MappingService` ties the pieces together: one
 :class:`~repro.service.store.JobStore`, one
@@ -29,20 +40,32 @@ not a job that fails later.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import MappingError, ReproError
+from repro.ops.logging import StructuredLogger, new_request_id
 from repro.runner.cache import ResultCache
 from repro.service.config import ServiceConfig
-from repro.service.jobs import DONE, FAILED, spec_from_payload, sweep_from_payload
-from repro.service.metrics import service_metrics
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    AdmissionError,
+    spec_from_payload,
+    sweep_from_payload,
+)
+from repro.service.metrics import render_prometheus, service_metrics
 from repro.service.store import JobStore
 from repro.service.worker import WorkerPool
 
 #: Maximum accepted request-body size (sweep payloads are small).
 _MAX_BODY_BYTES = 1 << 20
+
+#: Content type of the Prometheus text exposition.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class MappingService:
@@ -66,6 +89,7 @@ class MappingService:
             config.db_path, cache=self.cache, max_attempts=config.max_attempts
         )
         self.pool = WorkerPool(config)
+        self.logger = StructuredLogger(config.log_path, component="service")
         self.started_at: float | None = None
         self._httpd: ThreadingHTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
@@ -89,6 +113,12 @@ class MappingService:
             target=self._httpd.serve_forever, daemon=True
         )
         self._serve_thread.start()
+        self.logger.log(
+            "service.started",
+            url=self.url,
+            workers=self.config.workers,
+            max_queue_depth=self.config.max_queue_depth,
+        )
 
     def serve_forever(self) -> None:
         """Block until :meth:`shutdown` (or Ctrl-C in the CLI wrapper)."""
@@ -105,6 +135,8 @@ class MappingService:
             self._httpd.server_close()
             self._httpd = None
         self.pool.stop()
+        self.logger.log("service.stopped")
+        self.logger.close()
 
     @property
     def url(self) -> str:
@@ -117,10 +149,29 @@ class MappingService:
     # ------------------------------------------------------------------
     # Request-level operations (used by the handler; callable in-process).
 
-    def submit_payload(self, payload: dict) -> dict:
-        """Handle a ``POST /jobs`` body; returns the response document."""
+    def submit_payload(self, payload: dict, *, request_id: str | None = None) -> dict:
+        """Handle a ``POST /jobs`` body; returns the response document.
+
+        Raises:
+            AdmissionError: When the queue is at the configured watermark.
+            MappingError: On a malformed payload.
+        """
         if not isinstance(payload, dict):
             raise MappingError("request body must be a JSON object")
+        watermark = self.config.max_queue_depth
+        if watermark is not None and self.store.counts()[QUEUED] >= watermark:
+            self.logger.log(
+                "admission.rejected",
+                level="warning",
+                request_id=request_id,
+                queue_depth=self.store.counts()[QUEUED],
+                watermark=watermark,
+            )
+            raise AdmissionError(
+                f"queue is at its admission watermark ({watermark} queued jobs); "
+                "retry later",
+                retry_after=self.config.retry_after_seconds,
+            )
         if "sweep" in payload:
             specs = sweep_from_payload(payload["sweep"])
         else:
@@ -134,21 +185,51 @@ class MappingService:
                 created += 1
             else:
                 deduped += 1
-        return {"jobs": jobs, "created": created, "deduped": deduped}
+            self.logger.log(
+                "job.submitted",
+                job_id=job.id,
+                request_id=request_id,
+                circuit=spec.circuit,
+                mapper=spec.mapper,
+                deduped=not was_created,
+            )
+        return {
+            "jobs": jobs,
+            "created": created,
+            "deduped": deduped,
+            "request_id": request_id,
+        }
 
     def health(self) -> dict:
         """The ``GET /healthz`` document."""
+        import repro
+
         counts = self.store.counts()
         return {
             "status": "ok",
+            "version": repro.__version__,
+            "schema_version": self.store.schema_version(),
             "workers": self.pool.alive_workers(),
+            "workers_expected": self.pool.size,
             "worker_mode": self.pool.mode,
             "queue_depth": counts["queued"],
             "running": counts["running"],
+            "max_queue_depth": self.config.max_queue_depth,
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at is not None else 0.0
             ),
         }
+
+    def prometheus(self) -> str:
+        """The text exposition served by ``GET /metrics``."""
+        return render_prometheus(
+            self.store,
+            workers_alive=self.pool.alive_workers(),
+            uptime_seconds=(
+                time.time() - self.started_at if self.started_at is not None else None
+            ),
+            max_queue_depth=self.config.max_queue_depth,
+        )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -171,8 +252,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        self.request_id = new_request_id()
+        self.response_status: int | None = None
+        started = time.monotonic()
         try:
             handled = self._route(method)
+        except AdmissionError as exc:
+            retry_after = max(1, math.ceil(exc.retry_after))
+            self._send(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
         except MappingError as exc:
             self._send(400, {"error": str(exc)})
         except ReproError as exc:
@@ -182,6 +273,14 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             if not handled:
                 self._send(404, {"error": f"no route for {method} {self.path}"})
+        self.service.logger.log(
+            "http.request",
+            request_id=self.request_id,
+            method=method,
+            path=self.path,
+            status=self.response_status,
+            duration_ms=round((time.monotonic() - started) * 1000.0, 3),
+        )
 
     def _route(self, method: str) -> bool:
         path, _, query = self.path.partition("?")
@@ -190,9 +289,19 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and parts == ["healthz"]:
             self._send(200, self.service.health())
         elif method == "GET" and parts == ["metrics"]:
+            if "json" in (self.headers.get("Accept") or ""):
+                self._send(200, service_metrics(self.service.store))
+            else:
+                self._send_text(200, self.service.prometheus())
+        elif method == "GET" and parts == ["metrics.json"]:
             self._send(200, service_metrics(self.service.store))
         elif method == "POST" and parts == ["jobs"]:
-            self._send(201, self.service.submit_payload(self._read_json()))
+            self._send(
+                201,
+                self.service.submit_payload(
+                    self._read_json(), request_id=self.request_id
+                ),
+            )
         elif method == "GET" and parts == ["jobs"]:
             status = _query_param(query, "status")
             raw_limit = _query_param(query, "limit")
@@ -251,11 +360,30 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise MappingError(f"request body is not valid JSON: {exc}") from exc
 
-    def _send(self, code: int, document: dict) -> None:
-        body = json.dumps(document).encode()
+    def _send(
+        self, code: int, document: dict, *, headers: dict[str, str] | None = None
+    ) -> None:
+        self._send_bytes(
+            code, json.dumps(document).encode(), "application/json", headers
+        )
+
+    def _send_text(self, code: int, text: str) -> None:
+        self._send_bytes(code, text.encode(), _PROMETHEUS_CONTENT_TYPE, None)
+
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None,
+    ) -> None:
+        self.response_status = code
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", getattr(self, "request_id", "-"))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

@@ -27,10 +27,18 @@ from repro.service.jobs import TERMINAL
 
 
 class ServiceError(ReproError):
-    """An API call failed; carries the HTTP status and the server message."""
+    """An API call failed; carries the HTTP status and the server message.
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header of a 429 response
+    (``0.0`` otherwise) — :meth:`ServiceClient.submit` uses it as its backoff
+    delay.
+    """
+
+    def __init__(
+        self, message: str, status: int = 0, retry_after: float = 0.0
+    ) -> None:
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
 
 
@@ -43,9 +51,14 @@ class ServiceClient:
         'http://127.0.0.1:8321'
     """
 
-    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self, url: str, *, timeout: float = 30.0, max_submit_retries: int = 5
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        #: Bounded retries of a 429-rejected submission (admission control);
+        #: each retry sleeps the server's ``Retry-After``, capped per attempt.
+        self.max_submit_retries = max_submit_retries
 
     # ------------------------------------------------------------------
     # Raw endpoints.
@@ -55,20 +68,48 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        """``GET /metrics``."""
-        return self._request("GET", "/metrics")
+        """``GET /metrics.json`` — the JSON metrics document."""
+        return self._request("GET", "/metrics.json")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition."""
+        request = urllib.request.Request(
+            self.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(str(exc), status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach mapping service at {self.url}: {exc.reason}"
+            ) from exc
 
     def submit(self, payload: "dict | ExperimentSpec | Sweep") -> dict:
         """``POST /jobs``: a spec dict, a :class:`ExperimentSpec` or a sweep.
 
         Returns the submission document: ``{"jobs": [...], "created": n,
         "deduped": n}``.
+
+        A ``429`` (admission control — the queue is at its watermark) is
+        retried up to :attr:`max_submit_retries` times, sleeping the server's
+        ``Retry-After`` (capped at 5s per attempt) between tries; the final
+        rejection surfaces as a :class:`ServiceError` with ``status == 429``.
         """
         if isinstance(payload, ExperimentSpec):
             payload = {"spec": payload.to_dict()}
         elif isinstance(payload, Sweep):
             payload = {"sweep": payload.to_dict()}
-        return self._request("POST", "/jobs", body=payload)
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body=payload)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= self.max_submit_retries:
+                    raise
+                attempt += 1
+                time.sleep(min(5.0, max(0.05, exc.retry_after)))
 
     def jobs(self, *, status: str | None = None, limit: int | None = None) -> list[dict]:
         """``GET /jobs`` (optionally filtered by status, capped at ``limit``)."""
@@ -151,7 +192,13 @@ class ServiceClient:
                 message = json.loads(exc.read()).get("error", str(exc))
             except (json.JSONDecodeError, OSError):
                 message = str(exc)
-            raise ServiceError(message, status=exc.code) from exc
+            try:
+                retry_after = float(exc.headers.get("Retry-After") or 0.0)
+            except (TypeError, ValueError):
+                retry_after = 0.0
+            raise ServiceError(
+                message, status=exc.code, retry_after=retry_after
+            ) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach mapping service at {self.url}: {exc.reason}"

@@ -28,6 +28,15 @@ class ServiceConfig:
         use_threads: Run workers as threads instead of processes (used by the
             test suite and by restricted sandboxes; process startup failures
             fall back to threads automatically either way).
+        max_queue_depth: Admission-control watermark — when this many jobs
+            are queued, ``POST /jobs`` answers ``429`` with a ``Retry-After``
+            header instead of enqueueing more.  ``None`` disables admission
+            control.
+        retry_after_seconds: The ``Retry-After`` value (seconds) served with
+            admission-control 429s; :class:`~repro.service.client.ServiceClient`
+            honours it with bounded backoff.
+        log_path: JSONL file of the structured service/worker log (see
+            :mod:`repro.ops.logging`); ``None`` disables structured logging.
 
     Example::
 
@@ -44,9 +53,12 @@ class ServiceConfig:
     lease_seconds: float = 300.0
     max_attempts: int = 3
     use_threads: bool = False
+    max_queue_depth: int | None = None
+    retry_after_seconds: float = 2.0
+    log_path: str | None = "service-out/service.log.jsonl"
 
     def under(self, directory: str | Path) -> "ServiceConfig":
-        """A copy with the store and cache relocated below ``directory``.
+        """A copy with the store, cache and log relocated below ``directory``.
 
         Example::
 
@@ -58,4 +70,7 @@ class ServiceConfig:
             self,
             db_path=str(base / "jobs.sqlite3"),
             cache_dir=str(base / "cache") if self.cache_dir is not None else None,
+            log_path=(
+                str(base / "service.log.jsonl") if self.log_path is not None else None
+            ),
         )

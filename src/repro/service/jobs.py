@@ -47,6 +47,20 @@ def new_job_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
+class AdmissionError(MappingError):
+    """Submission refused because the queue is at its admission watermark.
+
+    The HTTP layer turns this into ``429 Too Many Requests`` with a
+    ``Retry-After`` header of :attr:`retry_after` seconds, which
+    :class:`~repro.service.client.ServiceClient` honours with bounded
+    backoff.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 2.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 def spec_from_payload(payload: dict) -> ExperimentSpec:
     """Build and validate an :class:`ExperimentSpec` from an API payload.
 

@@ -20,6 +20,13 @@ Three properties matter beyond plain CRUD:
 * **Crash-safe requeue** — a worker that dies mid-job leaves a ``running``
   row behind; once its lease expires, :meth:`JobStore.requeue_orphans` puts
   the job back in the queue (or fails it after ``max_attempts`` claims).
+
+For observability the store also persists **fixed-bucket latency
+histograms** (queue wait observed at claim, job wall time and per-stage
+seconds observed at completion), merged by addition across workers and
+restarts, and records its **schema version** in the ``meta`` table so
+:data:`_MIGRATIONS` can evolve the layout idempotently — an old database
+opened by a newer build is upgraded in place.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.service.jobs import (
     QUEUED,
     RUNNING,
     STATUSES,
+    TERMINAL,
     Job,
     new_job_id,
 )
@@ -71,6 +79,40 @@ CREATE TABLE IF NOT EXISTS meta (
     value TEXT NOT NULL
 );
 """
+
+#: Current job-store schema version (recorded in ``meta.schema_version``).
+SCHEMA_VERSION = 2
+
+#: Idempotent migrations, applied in version order on open.  Version 1 is
+#: the base :data:`_SCHEMA`; each later entry lists the statements that take
+#: a store from ``version - 1`` to ``version``.  Statements must be
+#: re-runnable (``IF NOT EXISTS``) so a crash between "migrate" and "record
+#: version" cannot wedge the store.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    2: (
+        # Fixed-bucket latency histograms (per-bucket raw counts; the +Inf
+        # bucket is the row whose le exceeds every finite bound).
+        """CREATE TABLE IF NOT EXISTS hist_buckets (
+               series TEXT NOT NULL,
+               le     REAL NOT NULL,
+               count  INTEGER NOT NULL DEFAULT 0,
+               PRIMARY KEY (series, le)
+           )""",
+        """CREATE TABLE IF NOT EXISTS hist_sums (
+               series  TEXT PRIMARY KEY,
+               total   REAL NOT NULL DEFAULT 0.0,
+               samples INTEGER NOT NULL DEFAULT 0
+           )""",
+        # Throughput ("finished in the last minute") was a full scan of the
+        # done partition per /metrics call; this index makes it a range read.
+        "CREATE INDEX IF NOT EXISTS idx_jobs_finished_at ON jobs(status, finished_at)",
+    ),
+}
+
+#: Histogram series names (``stage:`` is prefixed with the stage name).
+QUEUE_WAIT_SERIES = "queue_wait"
+WALL_SERIES = "wall"
+STAGE_SERIES_PREFIX = "stage:"
 
 _COLUMNS = (
     "id, cache_key, spec, status, created_at, started_at, finished_at, "
@@ -107,6 +149,35 @@ class JobStore:
         self.db_path.parent.mkdir(parents=True, exist_ok=True)
         with self._read() as conn:
             conn.executescript(_SCHEMA)
+        self._migrate()
+
+    # ------------------------------------------------------------------
+    # Schema versioning.
+
+    def _migrate(self) -> None:
+        """Bring the store to :data:`SCHEMA_VERSION`, idempotently."""
+        with self._transaction() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            current = int(row["value"]) if row is not None else 1
+            for version in range(current + 1, SCHEMA_VERSION + 1):
+                for statement in _MIGRATIONS[version]:
+                    conn.execute(statement)
+            if current != SCHEMA_VERSION:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+
+    def schema_version(self) -> int:
+        """The schema version recorded in the store (``GET /healthz``)."""
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        return int(row["value"]) if row is not None else 1
 
     # ------------------------------------------------------------------
     # Connections.
@@ -216,6 +287,7 @@ class JobStore:
                 "attempts = attempts + 1, lease_expires_at = ? WHERE id = ?",
                 (RUNNING, worker, now, now + lease_seconds, row["id"]),
             )
+            self._observe(conn, QUEUE_WAIT_SERIES, max(0.0, now - row["created_at"]))
         return self.get(row["id"])
 
     def complete(
@@ -251,6 +323,11 @@ class JobStore:
                     job_id,
                 ),
             )
+            if status == DONE:
+                if row["started_at"] is not None:
+                    self._observe(conn, WALL_SERIES, max(0.0, now - row["started_at"]))
+                for stage, seconds in (stage_seconds or {}).items():
+                    self._observe(conn, STAGE_SERIES_PREFIX + stage, float(seconds))
         return self.get(job_id)
 
     def fail(
@@ -379,6 +456,112 @@ class JobStore:
             rows = conn.execute(query, (*params, limit)).fetchall()
         return [_job_from_row(row) for row in rows]
 
+    # ------------------------------------------------------------------
+    # Persisted latency histograms.
+
+    @staticmethod
+    def _observe(conn: sqlite3.Connection, series: str, value: float) -> None:
+        """Record one observation into a persisted fixed-bucket histogram.
+
+        Called inside an open claim/complete transaction, so histogram state
+        always agrees with the job rows it was derived from.
+        """
+        from repro.ops.prom import DEFAULT_SECONDS_BUCKETS, bucket_index
+
+        index = bucket_index(DEFAULT_SECONDS_BUCKETS, value)
+        bound = (
+            DEFAULT_SECONDS_BUCKETS[index]
+            if index < len(DEFAULT_SECONDS_BUCKETS)
+            else float("inf")
+        )
+        conn.execute(
+            "INSERT INTO hist_buckets (series, le, count) VALUES (?, ?, 1) "
+            "ON CONFLICT(series, le) DO UPDATE SET count = count + 1",
+            (series, bound),
+        )
+        conn.execute(
+            "INSERT INTO hist_sums (series, total, samples) VALUES (?, ?, 1) "
+            "ON CONFLICT(series) DO UPDATE SET total = total + excluded.total, "
+            "samples = samples + 1",
+            (series, value),
+        )
+
+    def histograms(self) -> dict[str, dict]:
+        """Every persisted histogram, in cumulative (exposition-ready) form.
+
+        Returns ``{series: {"bounds": (...), "cumulative": [...], "sum": s,
+        "count": n}}`` where ``cumulative`` has one entry per finite bound
+        plus the trailing ``+Inf`` bucket.  Series names are
+        :data:`QUEUE_WAIT_SERIES`, :data:`WALL_SERIES` and
+        ``stage:<stage name>`` (dotted sub-stages such as
+        ``stage:simulate.routing`` included).
+        """
+        from repro.ops.prom import DEFAULT_SECONDS_BUCKETS, bucket_index
+
+        bounds = DEFAULT_SECONDS_BUCKETS
+        with self._read() as conn:
+            bucket_rows = conn.execute(
+                "SELECT series, le, count FROM hist_buckets ORDER BY series, le"
+            ).fetchall()
+            sum_rows = conn.execute(
+                "SELECT series, total, samples FROM hist_sums"
+            ).fetchall()
+        sums = {row["series"]: (row["total"], row["samples"]) for row in sum_rows}
+        out: dict[str, dict] = {}
+        for row in bucket_rows:
+            series = row["series"]
+            if series not in out:
+                total, samples = sums.get(series, (0.0, 0))
+                out[series] = {
+                    "bounds": bounds,
+                    "raw": [0] * (len(bounds) + 1),
+                    "sum": total,
+                    "count": samples,
+                }
+            out[series]["raw"][bucket_index(bounds, row["le"])] += row["count"]
+        for series_data in out.values():
+            raw = series_data.pop("raw")
+            total = 0
+            cumulative = []
+            for count in raw:
+                total += count
+                cumulative.append(total)
+            series_data["cumulative"] = cumulative
+        return out
+
+    # ------------------------------------------------------------------
+    # Retention.
+
+    def prune(
+        self, *, retention_days: float, now: float | None = None
+    ) -> int:
+        """Delete terminal jobs older than ``retention_days`` and ``VACUUM``.
+
+        Only terminal rows (done/failed/cancelled) are eligible; queued and
+        running jobs are never touched.  Histograms are cumulative counters
+        and deliberately survive pruning.  Returns the number of rows
+        deleted.
+        """
+        if retention_days < 0:
+            raise MappingError(
+                f"retention must be non-negative, got {retention_days!r}"
+            )
+        now = time.time() if now is None else now
+        cutoff = now - retention_days * 86400.0
+        with self._transaction() as conn:
+            cursor = conn.execute(
+                f"DELETE FROM jobs WHERE status IN "
+                f"({','.join('?' * len(TERMINAL))}) "
+                "AND finished_at IS NOT NULL AND finished_at < ?",
+                (*TERMINAL, cutoff),
+            )
+            deleted = cursor.rowcount
+        if deleted:
+            # VACUUM needs autocommit; reclaim the deleted pages.
+            with self._read() as conn:
+                conn.execute("VACUUM")
+        return deleted
+
     def counts(self) -> dict[str, int]:
         """Job counts by status (every status present, zeros included)."""
         with self._read() as conn:
@@ -402,11 +585,17 @@ class JobStore:
         """
         now = time.time() if now is None else now
         with self._read() as conn:
+            # The throughput gauge is a range read over the (status,
+            # finished_at) index instead of a scan of the whole done set.
+            finished_recently = conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs "
+                "WHERE status = ? AND finished_at >= ?",
+                (DONE, now - window),
+            ).fetchone()["n"]
             totals = conn.execute(
                 """
                 SELECT
                     COUNT(*) AS finished,
-                    COALESCE(SUM(finished_at >= ?), 0) AS finished_recently,
                     COALESCE(SUM(json_extract(result, '$.from_cache')), 0)
                         AS cache_served,
                     COALESCE(SUM(CASE WHEN started_at IS NOT NULL
@@ -422,7 +611,7 @@ class JobStore:
                         AS route_cache_misses
                 FROM jobs WHERE status = ?
                 """,
-                (now - window, DONE),
+                (DONE,),
             ).fetchone()
             stage_rows = conn.execute(
                 """
@@ -434,6 +623,7 @@ class JobStore:
             ).fetchall()
         return {
             **{key: totals[key] for key in totals.keys()},
+            "finished_recently": finished_recently,
             "stage_totals": {row["stage"]: row["seconds"] for row in stage_rows},
         }
 

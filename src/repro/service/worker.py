@@ -26,6 +26,7 @@ import time
 import warnings
 
 from repro.fabric.fabric import Fabric
+from repro.ops.logging import LoggingObserver, StructuredLogger
 from repro.runner.cache import ResultCache
 from repro.runner.executor import map_spec
 from repro.runner.results import CellResult
@@ -36,7 +37,10 @@ from repro.service.store import JobStore
 
 
 def execute_job(
-    spec: ExperimentSpec, fabrics: dict[FabricCell, Fabric] | None = None
+    spec: ExperimentSpec,
+    fabrics: dict[FabricCell, Fabric] | None = None,
+    *,
+    observer=None,
 ) -> tuple[CellResult, dict]:
     """Run one job's spec; returns the flat result plus stage timings.
 
@@ -45,6 +49,9 @@ def execute_job(
         fabrics: Per-worker fabric memo; jobs with the same
             :class:`~repro.runner.spec.FabricCell` share one built fabric
             (and therefore its memoised, compiled routing graph).
+        observer: Optional :class:`~repro.pipeline.context.PipelineObserver`
+            receiving stage callbacks (the worker passes a job-bound
+            :class:`~repro.ops.logging.LoggingObserver`).
 
     Example::
 
@@ -63,7 +70,12 @@ def execute_job(
     # Workers map many jobs on one memoised fabric, so idle-congestion route
     # plans are shared across jobs (the fix for the near-zero cache hit rate
     # on repeated submissions); results are identical either way.
-    result = map_spec(spec, fabric=fabric, shared_route_cache=fabric is not None)
+    result = map_spec(
+        spec,
+        fabric=fabric,
+        shared_route_cache=fabric is not None,
+        observer=observer,
+    )
     return CellResult.from_mapping(spec, result), dict(result.stage_seconds)
 
 
@@ -77,6 +89,7 @@ def worker_loop(
     max_attempts: int = 3,
     stop_event: threading.Event | None = None,
     max_jobs: int | None = None,
+    log_path: str | None = None,
 ) -> int:
     """Claim-and-execute loop of one worker; returns jobs executed.
 
@@ -85,26 +98,35 @@ def worker_loop(
     ``stop_event`` is set (thread mode), or after ``max_jobs`` jobs (tests).
     A :class:`KeyboardInterrupt` mid-job releases the claimed job back to the
     queue before re-raising, so Ctrl-C never strands work in ``running``.
+
+    When ``log_path`` is set, every lifecycle event of a claimed job
+    (``job.claimed``, per-stage ``pipeline.stage``, ``job.done`` /
+    ``job.failed``) is appended as one JSONL record carrying the job's id —
+    ``grep job_id`` over the file reconstructs the job's history.
     """
     cache = ResultCache(cache_dir) if cache_dir else None
     store = JobStore(db_path, cache=cache, max_attempts=max_attempts)
+    logger = StructuredLogger(log_path, component="worker", worker=worker_id)
     fabrics: dict[FabricCell, Fabric] = {}
     executed = 0
-    while max_jobs is None or executed < max_jobs:
-        if stop_event is not None and stop_event.is_set():
-            break
-        if store.shutdown_requested():
-            break
-        job = store.claim(worker_id, lease_seconds=lease_seconds)
-        if job is None:
-            time.sleep(poll_interval)
-            continue
-        try:
-            _run_claimed(store, cache, job, fabrics, worker_id)
-        except KeyboardInterrupt:
-            store.release(job.id)
-            raise
-        executed += 1
+    try:
+        while max_jobs is None or executed < max_jobs:
+            if stop_event is not None and stop_event.is_set():
+                break
+            if store.shutdown_requested():
+                break
+            job = store.claim(worker_id, lease_seconds=lease_seconds)
+            if job is None:
+                time.sleep(poll_interval)
+                continue
+            try:
+                _run_claimed(store, cache, job, fabrics, worker_id, logger)
+            except KeyboardInterrupt:
+                store.release(job.id)
+                raise
+            executed += 1
+    finally:
+        logger.close()
     return executed
 
 
@@ -114,17 +136,43 @@ def _run_claimed(
     job: Job,
     fabrics: dict[FabricCell, Fabric],
     worker_id: str,
+    logger: StructuredLogger,
 ) -> None:
+    job_log = logger.child(job_id=job.id)
+    job_log.log(
+        "job.claimed",
+        attempt=job.attempts,
+        circuit=job.spec.circuit,
+        mapper=job.spec.mapper,
+    )
+    started = time.monotonic()
+    observer = LoggingObserver(job_log) if job_log.enabled else None
+    # Pass the observer kwarg only when logging is on: tests (and any
+    # pre-observability caller) may substitute execute_job with a
+    # two-argument callable.
+    kwargs = {"observer": observer} if observer is not None else {}
     try:
-        cell, stage_seconds = execute_job(job.spec, fabrics)
+        cell, stage_seconds = execute_job(job.spec, fabrics, **kwargs)
     except KeyboardInterrupt:
         raise
     except Exception as exc:  # a bad job must not kill the worker
-        store.fail(job.id, f"{type(exc).__name__}: {exc}", worker=worker_id)
+        message = f"{type(exc).__name__}: {exc}"
+        store.fail(job.id, message, worker=worker_id)
+        job_log.log(
+            "job.failed",
+            level="error",
+            error=message,
+            seconds=round(time.monotonic() - started, 6),
+        )
         return
     if cache is not None:
         cache.store(job.spec, cell)
     store.complete(job.id, cell, stage_seconds=stage_seconds, worker=worker_id)
+    job_log.log(
+        "job.done",
+        seconds=round(time.monotonic() - started, 6),
+        latency_us=cell.latency,
+    )
 
 
 class WorkerPool:
@@ -213,6 +261,7 @@ class WorkerPool:
             "poll_interval": self.config.poll_interval,
             "lease_seconds": self.config.lease_seconds,
             "max_attempts": self.config.max_attempts,
+            "log_path": self.config.log_path,
         }
 
     def _spawn(self, index: int):

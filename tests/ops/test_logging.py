@@ -1,0 +1,98 @@
+"""Structured JSONL logging: sinks, bound fields, children, observers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.ops.logging import (
+    LoggingObserver,
+    StructuredLogger,
+    new_request_id,
+    read_jsonl,
+)
+
+
+class TestStructuredLogger:
+    def test_record_shape(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream, component="service")
+        logger.log("http.request", status=200, duration_ms=1.5)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "http.request"
+        assert record["component"] == "service"
+        assert record["status"] == 200
+        assert record["level"] == "info"
+        assert record["ts"] > 0
+
+    def test_none_sink_disables_everything(self):
+        logger = StructuredLogger(None, component="x")
+        assert not logger.enabled
+        logger.log("anything")  # must not raise
+        logger.close()
+
+    def test_child_inherits_and_extends_bound_fields(self):
+        stream = io.StringIO()
+        parent = StructuredLogger(stream, component="worker", worker="w0")
+        child = parent.child(job_id="abc123")
+        child.log("job.claimed")
+        record = json.loads(stream.getvalue())
+        assert (record["component"], record["worker"], record["job_id"]) == (
+            "worker", "w0", "abc123",
+        )
+
+    def test_call_fields_override_bound_fields(self):
+        stream = io.StringIO()
+        StructuredLogger(stream, level_hint="a").log("e", level_hint="b")
+        assert json.loads(stream.getvalue())["level_hint"] == "b"
+
+    def test_file_sink_appends_one_line_per_record(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = StructuredLogger(path, component="t")
+        logger.log("one")
+        logger.log("two", n=2)
+        logger.close()
+        # A second logger appends, never truncates (shared multi-process file).
+        second = StructuredLogger(path)
+        second.log("three")
+        second.close()
+        events = [record["event"] for record in read_jsonl(path)]
+        assert events == ["one", "two", "three"]
+
+    def test_non_serialisable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        StructuredLogger(stream).log("e", obj=object())
+        assert "object object at" in json.loads(stream.getvalue())["obj"]
+
+    def test_read_jsonl_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"event": "ok"}\n{"event": "torn', encoding="utf-8")
+        assert [r["event"] for r in read_jsonl(path)] == ["ok"]
+
+
+class TestNewRequestId:
+    def test_ids_are_short_and_unique(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(request_id) == 12 for request_id in ids)
+
+
+class TestLoggingObserver:
+    def test_stage_records_carry_bound_job_id(self, tiny_fabric):
+        from repro.circuits.builders import ghz_circuit
+        from repro.mapper.options import MapperOptions
+        from repro.pipeline.context import PipelineContext
+
+        stream = io.StringIO()
+        logger = StructuredLogger(stream, job_id="job42")
+        observer = LoggingObserver(logger)
+        ctx = PipelineContext(
+            circuit=ghz_circuit(3), fabric=tiny_fabric, options=MapperOptions()
+        )
+        observer.stage_finished("place", ctx, 0.0123)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "pipeline.stage"
+        assert record["stage"] == "place"
+        assert record["job_id"] == "job42"
+        assert record["seconds"] == 0.0123
+        assert record["circuit"] == ctx.circuit.name

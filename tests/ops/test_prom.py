@@ -1,0 +1,200 @@
+"""Prometheus exposition: escaping, rendering, bucket math and the parser."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ops.prom import (
+    DEFAULT_SECONDS_BUCKETS,
+    Registry,
+    bucket_index,
+    cumulate,
+    escape_label_value,
+    format_value,
+    histogram_series,
+    parse_exposition,
+    quantile,
+)
+
+GOLDEN = Path(__file__).parent / "golden_exposition.txt"
+
+
+def _golden_registry() -> Registry:
+    """The fixed registry behind the golden-file snapshot."""
+    registry = Registry()
+    registry.gauge("qspr_queue_depth", "Jobs waiting for a worker.", 3)
+    registry.gauge(
+        "qspr_jobs",
+        "Jobs currently in each lifecycle status.",
+        7,
+        labels={"status": "done"},
+    )
+    registry.counter(
+        "qspr_stage_seconds_total",
+        "Pipeline seconds summed over done jobs, per stage.",
+        1.25,
+        labels={"stage": "simulate.routing"},
+    )
+    registry.counter(
+        "qspr_route_cache_lookups_total",
+        "Route-cache lookups of done jobs, by result.",
+        42,
+        labels={"result": "hit"},
+    )
+    registry.histogram(
+        "qspr_job_wall_seconds",
+        "Execution wall-clock of done jobs (claim to completion).",
+        bounds=(0.1, 1.0, 10.0),
+        cumulative=[1, 3, 4, 4],
+        sum_value=5.5,
+    )
+    registry.gauge(
+        "qspr_build_info",
+        "Constant 1; the package version rides on the label.",
+        1,
+        labels={"version": 'v1 "quoted"\nnewline\\slash'},
+    )
+    return registry
+
+
+class TestGoldenSnapshot:
+    def test_exposition_matches_golden_file(self):
+        rendered = _golden_registry().render()
+        assert rendered == GOLDEN.read_text(), (
+            "exposition format drifted; if the change is intentional, "
+            f"regenerate {GOLDEN} from _golden_registry().render()"
+        )
+
+    def test_golden_file_parses_back(self):
+        families = parse_exposition(GOLDEN.read_text())
+        assert families["qspr_queue_depth"].type == "gauge"
+        assert families["qspr_job_wall_seconds"].type == "histogram"
+        version_labels = families["qspr_build_info"].samples[0][1]
+        assert version_labels["version"] == 'v1 "quoted"\nnewline\\slash'
+
+
+class TestLabelEscaping:
+    @settings(max_examples=200)
+    @given(st.text(max_size=60))
+    def test_any_label_value_round_trips_through_the_parser(self, value):
+        registry = Registry()
+        registry.gauge("m", "help", 1, labels={"l": value})
+        families = parse_exposition(registry.render())
+        assert families["m"].samples[0][1]["l"] == value
+
+    def test_escapes_the_three_special_characters(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_invalid_label_name_is_rejected(self):
+        registry = Registry()
+        with pytest.raises(ValueError, match="label name"):
+            registry.gauge("m", "help", 1, labels={"bad-name": "x"})
+
+    def test_invalid_metric_name_is_rejected(self):
+        with pytest.raises(ValueError, match="metric name"):
+            Registry().gauge("0bad", "help", 1)
+
+
+class TestHistogramRendering:
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        registry = Registry()
+        registry.histogram(
+            "h", "help", bounds=(0.1, 1.0), cumulative=[2, 5, 9], sum_value=7.0
+        )
+        buckets, sum_value, count = histogram_series(
+            parse_exposition(registry.render())["h"]
+        )
+        les = [le for le, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert les == [0.1, 1.0, math.inf]
+        assert counts == sorted(counts), "bucket counts must be monotone"
+        assert counts[-1] == count == 9
+        assert sum_value == 7.0
+
+    def test_non_monotone_cumulative_is_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            Registry().histogram(
+                "h", "help", bounds=(0.1, 1.0), cumulative=[5, 2, 9], sum_value=0.0
+            )
+
+    def test_wrong_cumulative_length_is_rejected(self):
+        with pytest.raises(ValueError, match="cumulative"):
+            Registry().histogram(
+                "h", "help", bounds=(0.1, 1.0), cumulative=[1, 2], sum_value=0.0
+            )
+
+    def test_unsorted_bounds_are_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Registry().histogram(
+                "h", "help", bounds=(1.0, 0.1), cumulative=[1, 2, 3], sum_value=0.0
+            )
+
+    @settings(max_examples=100)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=len(DEFAULT_SECONDS_BUCKETS) + 1,
+            max_size=len(DEFAULT_SECONDS_BUCKETS) + 1,
+        )
+    )
+    def test_any_raw_counts_render_monotone_buckets(self, raw):
+        registry = Registry()
+        registry.histogram(
+            "h",
+            "help",
+            bounds=DEFAULT_SECONDS_BUCKETS,
+            cumulative=cumulate(raw),
+            sum_value=1.0,
+        )
+        buckets, _, count = histogram_series(parse_exposition(registry.render())["h"])
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert count == sum(raw)
+
+
+class TestBucketMath:
+    def test_bucket_index_boundaries(self):
+        bounds = (0.1, 1.0, 10.0)
+        assert bucket_index(bounds, 0.05) == 0
+        assert bucket_index(bounds, 0.1) == 0  # le is inclusive
+        assert bucket_index(bounds, 0.5) == 1
+        assert bucket_index(bounds, 11.0) == 3  # +Inf bucket
+        assert bucket_index(bounds, math.inf) == 3
+
+    def test_cumulate(self):
+        assert cumulate([1, 0, 2, 1]) == [1, 1, 3, 4]
+
+    def test_quantile_interpolates_inside_the_bucket(self):
+        # 10 observations, all inside (1.0, 2.0]: the median sits mid-bucket.
+        bounds = (1.0, 2.0)
+        cumulative = [0, 10, 10]
+        assert quantile(bounds, cumulative, 0.5) == pytest.approx(1.5)
+        assert quantile(bounds, cumulative, 1.0) == pytest.approx(2.0)
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert quantile((1.0, 2.0), [0, 0, 0], 0.95) == 0.0
+
+    def test_quantile_clamps_inf_bucket_to_largest_bound(self):
+        assert quantile((1.0, 2.0), [0, 0, 5], 0.99) == 2.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            quantile((1.0,), [1, 1], 1.5)
+
+
+class TestParser:
+    def test_sample_without_type_header_is_an_error(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_exposition("orphan_metric 1\n")
+
+    def test_special_values(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+        assert format_value(3.0) == "3"
+        text = "# TYPE m gauge\nm +Inf\n"
+        assert parse_exposition(text)["m"].samples[0][2] == math.inf

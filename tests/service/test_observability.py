@@ -1,0 +1,327 @@
+"""Observability layer: /metrics exposition, healthz, logs, admission, prune."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ops.logging import read_jsonl
+from repro.ops.prom import histogram_series, parse_exposition
+from repro.runner.results import CellResult
+from repro.runner.spec import ExperimentSpec
+from repro.service import (
+    JobStore,
+    MappingService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    render_prometheus,
+    service_metrics,
+)
+from repro.service.store import _SCHEMA, SCHEMA_VERSION
+
+SPEC_PAYLOAD = {"circuit": "[[5,1,3]]", "placer": "center", "num_seeds": 1}
+
+
+@pytest.fixture
+def config(tmp_path):
+    return ServiceConfig(
+        port=0, use_threads=True, workers=1, poll_interval=0.05
+    ).under(tmp_path)
+
+
+@pytest.fixture
+def service(config):
+    service = MappingService(config)
+    service.start()
+    yield service
+    service.shutdown()
+
+
+def _finish_one(store, spec=None):
+    spec = spec or ExperimentSpec("[[5,1,3]]", placer="center")
+    store.submit(spec)
+    job = store.claim("w0")
+    cell = CellResult(
+        circuit=spec.circuit, mapper=spec.mapper, placer="center",
+        latency=100.0, ideal_latency=80.0, routing_seconds=0.05,
+        route_cache_hits=2, route_cache_misses=2,
+    )
+    store.complete(job.id, cell, stage_seconds={"place": 0.1, "simulate": 0.2})
+    return job
+
+
+class TestHealthz:
+    def test_health_reports_version_schema_and_workers(self, service):
+        import repro
+
+        health = ServiceClient(service.url).health()
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["workers_expected"] == 1
+        assert health["workers"] >= 0
+        assert health["queue_depth"] == 0
+
+
+class TestMetricsEndpoints:
+    def test_default_scrape_is_valid_text_exposition(self, service):
+        text = ServiceClient(service.url).metrics_text()
+        families = parse_exposition(text)
+        histograms = [n for n, f in families.items() if f.type == "histogram"]
+        assert len(histograms) >= 3, (
+            "the exposition must carry queue-wait, wall and per-stage "
+            f"histograms even on an idle service; got {histograms}"
+        )
+        assert families["qspr_queue_depth"].type == "gauge"
+        assert families["qspr_store_schema_version"].samples[0][2] == SCHEMA_VERSION
+
+    def test_metrics_json_serves_the_json_document(self, service):
+        document = ServiceClient(service.url).metrics()
+        assert document["queue_depth"] == 0
+        assert "throughput_per_minute" in document
+
+    def test_accept_json_negotiates_on_slash_metrics(self, service):
+        request = urllib.request.Request(
+            service.url + "/metrics", headers={"Accept": "application/json"}
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers["Content-Type"] == "application/json"
+            assert "queue_depth" in json.loads(response.read())
+
+    def test_text_scrape_content_type_and_request_id(self, service):
+        request = urllib.request.Request(
+            service.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            assert response.headers["X-Request-Id"]
+
+    def test_finished_jobs_fill_the_histograms(self, config):
+        store = JobStore(config.db_path)
+        _finish_one(store)
+        families = parse_exposition(render_prometheus(store))
+        buckets, sum_value, count = histogram_series(
+            families["qspr_job_wall_seconds"]
+        )
+        counts = [c for _, c in buckets]
+        assert count == 1 and counts == sorted(counts)
+        stage_family = families["qspr_stage_duration_seconds"]
+        _, place_sum, place_count = histogram_series(
+            stage_family, labels={"stage": "place"}
+        )
+        assert place_count == 1
+        assert place_sum == pytest.approx(0.1)
+
+
+class TestServiceMetricsAggregates:
+    def test_empty_store_has_zeroed_aggregates(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        document = service_metrics(store)
+        assert document["jobs"]["total"] == 0
+        assert document["throughput_per_minute"] == 0
+        assert document["wall_seconds"] == {"total": 0.0, "mean": 0.0}
+        assert document["route_cache"]["hit_rate"] == 0.0
+        # The exposition renders too (zero-filled histograms, no division).
+        assert "qspr_job_wall_seconds_count 0" in render_prometheus(store)
+
+    def test_throughput_counts_only_the_window(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        _finish_one(store)
+        now = time.time()
+        assert service_metrics(store, now=now)["throughput_per_minute"] == 1
+        assert service_metrics(store, now=now + 3600)["throughput_per_minute"] == 0
+
+    def test_finished_at_index_exists(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        with sqlite3.connect(store.db_path) as conn:
+            names = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+        assert "idx_jobs_finished_at" in names
+
+
+# Genuinely distinct specs for queue flooding: the center placer is
+# deterministic, so seed axes collapse in normalisation and seed-varied
+# payloads would dedup into one job instead of growing the queue.
+_FLOOD_SPECS = tuple(
+    {**SPEC_PAYLOAD, "circuit": circuit, "mapper": mapper}
+    for circuit in ("[[5,1,3]]", "[[7,1,3]]", "ghz")
+    for mapper in ("qspr", "quale")
+)
+
+
+def _submit_until_429(client):
+    """Flood distinct specs until the watermark trips; return the 429.
+
+    With one worker, at most one job can leave the queue per mapping (a
+    claim moves it to ``running``), so a burst of distinct submissions is
+    guaranteed to trip a watermark of 1 within a few attempts — no timing
+    assumptions about when the worker polls.
+    """
+    for payload in _FLOOD_SPECS:
+        try:
+            client.submit(payload)
+        except ServiceError as exc:
+            return exc
+    pytest.fail(
+        f"{len(_FLOOD_SPECS)} rapid submissions never tripped the watermark"
+    )
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_is_429_with_retry_after(self, tmp_path):
+        config = ServiceConfig(
+            port=0, use_threads=True, workers=1, poll_interval=0.05,
+            max_queue_depth=1, retry_after_seconds=0.1,
+        ).under(tmp_path)
+        service = MappingService(config)
+        service.start()
+        try:
+            rejected = _submit_until_429(
+                ServiceClient(service.url, max_submit_retries=0)
+            )
+            assert rejected.status == 429
+            assert rejected.retry_after >= 1.0  # header is ceil()ed
+        finally:
+            service.shutdown()
+
+    def test_client_retries_until_the_queue_drains(self, tmp_path):
+        config = ServiceConfig(
+            port=0, use_threads=True, workers=1, poll_interval=0.05,
+            max_queue_depth=1, retry_after_seconds=0.2,
+        ).under(tmp_path)
+        service = MappingService(config)
+        service.start()
+        try:
+            _submit_until_429(ServiceClient(service.url, max_submit_retries=0))
+            # The queue is saturated; the service's own worker drains it.
+            # A retrying client must ride the Retry-After backoff through
+            # the 429s to acceptance.
+            retrier = ServiceClient(service.url, max_submit_retries=200)
+            accepted = retrier.submit({**SPEC_PAYLOAD, "circuit": "[[9,1,3]]"})
+            assert accepted["created"] == 1
+        finally:
+            service.shutdown()
+
+    def test_admission_off_by_default(self, service):
+        client = ServiceClient(service.url)
+        for payload in _FLOOD_SPECS[:3]:
+            client.submit(payload)
+
+
+class TestStructuredLogs:
+    def test_one_job_id_correlates_submit_to_done(self, config, service):
+        client = ServiceClient(service.url)
+        submitted = client.submit(SPEC_PAYLOAD)
+        job_id = submitted["jobs"][0]["id"]
+        assert submitted["request_id"]
+        client.wait(job_id, timeout=120)
+        # The log file is shared by the API thread and the worker.
+        records = [
+            r for r in read_jsonl(config.log_path) if r.get("job_id") == job_id
+        ]
+        events = [r["event"] for r in records]
+        assert events[0] == "job.submitted"
+        assert "job.claimed" in events
+        assert "pipeline.stage" in events
+        assert events[-1] == "job.done"
+        stage_names = {
+            r["stage"] for r in records if r["event"] == "pipeline.stage"
+        }
+        assert {"build-qidg", "place", "simulate"} <= stage_names
+
+    def test_http_requests_are_access_logged_with_request_ids(
+        self, config, service
+    ):
+        ServiceClient(service.url).health()
+        # The access-log record lands just *after* the response is sent, so
+        # give the handler thread a moment to write it.
+        deadline = time.monotonic() + 5.0
+        requests: list[dict] = []
+        while not requests and time.monotonic() < deadline:
+            requests = [
+                r
+                for r in read_jsonl(config.log_path)
+                if r["event"] == "http.request"
+            ]
+            if not requests:
+                time.sleep(0.02)
+        assert requests, "every request must produce one access-log record"
+        record = requests[-1]
+        assert record["path"] == "/healthz"
+        assert record["status"] == 200
+        assert record["request_id"]
+        assert record["duration_ms"] >= 0.0
+
+    def test_log_path_none_disables_logging(self, tmp_path):
+        config = ServiceConfig(
+            port=0, use_threads=True, workers=1, log_path=None
+        ).under(tmp_path)
+        service = MappingService(config)
+        service.start()
+        try:
+            ServiceClient(service.url).health()
+            assert not (tmp_path / "service.log.jsonl").exists()
+        finally:
+            service.shutdown()
+
+
+class TestRetention:
+    def test_prune_deletes_only_old_terminal_jobs(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        finished = _finish_one(store)
+        store.submit(ExperimentSpec("[[7,1,3]]", placer="center"))  # queued
+        now = time.time() + 8 * 86400
+        assert store.prune(retention_days=7, now=now) == 1
+        counts = store.counts()
+        assert counts["done"] == 0
+        assert counts["queued"] == 1
+        assert store.prune(retention_days=7, now=now) == 0  # idempotent
+
+    def test_prune_rejects_negative_retention(self, tmp_path):
+        from repro.errors import MappingError
+
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        with pytest.raises(MappingError):
+            store.prune(retention_days=-1)
+
+    def test_histograms_survive_pruning(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        _finish_one(store)
+        store.prune(retention_days=0, now=time.time() + 60)
+        assert store.histograms()["wall"]["count"] == 1
+
+
+class TestSchemaMigration:
+    def test_v1_store_is_migrated_in_place(self, tmp_path):
+        db_path = tmp_path / "jobs.sqlite3"
+        # A version-1 database: the base schema, no histogram tables, no
+        # recorded schema_version (absence means 1).
+        with sqlite3.connect(db_path) as conn:
+            conn.executescript(_SCHEMA)
+        store = JobStore(db_path)
+        assert store.schema_version() == SCHEMA_VERSION
+        with sqlite3.connect(db_path) as conn:
+            tables = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert {"hist_buckets", "hist_sums"} <= tables
+        _finish_one(store)  # the migrated store records observations
+
+    def test_reopening_is_idempotent(self, tmp_path):
+        db_path = tmp_path / "jobs.sqlite3"
+        JobStore(db_path)
+        store = JobStore(db_path)
+        assert store.schema_version() == SCHEMA_VERSION
