@@ -90,13 +90,22 @@ class MapperOptions:
             together with the tick loop.  Results are identical with the
             feature on or off; only futile router calls (and therefore the
             routing-core counters) drop.
-        shared_route_cache: Consult (and feed) the process-wide idle-route
-            store shared across all runs on the same fabric, technology and
-            routing policy.  Idle-congestion route plans are pure functions
-            of geometry, so sharing them is safe; results are identical and
-            only the cache-hit counters change.  Off by default to keep
-            default-scenario reports byte-stable — service workers, which
-            map many jobs on one memoised fabric, turn it on.
+        routing_v2: Run the router's v2 fast path — region-scoped
+            route-cache invalidation, landmark (ALT) heap-pop pruning,
+            warm-started re-computation and batched candidate prefills (see
+            :class:`~repro.routing.router.Router`).  Plans and schedules are
+            byte-identical either way (held by the differential suites);
+            only the routing counters and wall time differ.  Requires
+            ``compiled_routing``; kept selectable for differential tests and
+            the performance benchmarks.
+        shared_route_cache: Consult (and feed) the process-wide route store
+            shared across all runs on the same fabric, technology and
+            routing policy.  Plans whose region footprint was idle when
+            computed are pure functions of geometry there, so sharing them
+            is safe; results are identical and only the cache-hit counters
+            change.  Off by default to keep default-scenario reports
+            byte-stable — service workers, which map many jobs on one
+            memoised fabric, turn it on.
     """
 
     technology: TechnologyParams = PAPER_TECHNOLOGY
@@ -116,6 +125,7 @@ class MapperOptions:
     compiled_routing: bool = True
     event_core: bool = True
     busy_wake_sets: bool = True
+    routing_v2: bool = True
     shared_route_cache: bool = False
 
     def __post_init__(self) -> None:
@@ -212,6 +222,8 @@ class MapperOptions:
             text += " core=legacy"
         if not self.event_core:
             text += " sim=tick"
+        if not self.routing_v2:
+            text += " routing=v1"
         if not self.busy_wake_sets:
             text += " wake_sets=False"
         if self.shared_route_cache:

@@ -53,7 +53,8 @@ def snapshot(store: JobStore, *, now: float | None = None) -> dict:
     """One JSON-ready dashboard frame (what ``top --once --json`` prints).
 
     Keys: ``jobs`` (counts by status + total), ``queue_depth``, ``running``,
-    ``throughput_per_minute``, ``route_cache`` (hits/misses/hit_rate),
+    ``throughput_per_minute``, ``route_cache`` (hits/shared_hits/misses/
+    hit_rate),
     ``latencies`` (per series: count, p50/p95 seconds, mean), ``workers``
     (running jobs' leases) and ``schema_version``.
     """
@@ -102,6 +103,7 @@ def snapshot(store: JobStore, *, now: float | None = None) -> dict:
         "cache_served_jobs": done["cache_served"],
         "route_cache": {
             "hits": done["route_cache_hits"],
+            "shared_hits": done["route_cache_shared_hits"],
             "misses": done["route_cache_misses"],
             "hit_rate": (
                 done["route_cache_hits"] / route_lookups if route_lookups else 0.0
@@ -161,7 +163,8 @@ def render(frame: dict, *, color: bool = True) -> str:
     cache = frame["route_cache"]
     lines += [
         "",
-        f"  route cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"  route cache: {cache['hits']} hits "
+        f"({cache.get('shared_hits', 0)} shared) / {cache['misses']} misses "
         f"({cache['hit_rate']:.0%} hit rate)",
         "",
         f"{bold}  worker            job           running   lease left{reset}",

@@ -189,6 +189,7 @@ class PipelineContext:
             compiled_routing=options.compiled_routing,
             event_core=options.event_core,
             busy_wake_sets=options.busy_wake_sets,
+            routing_v2=options.routing_v2,
             shared_route_cache=options.shared_route_cache,
         )
 

@@ -45,6 +45,43 @@ ever decreases and all costs are non-negative, so such an entry could never
 improve the answer; in the legacy kernel it would only ever be popped after
 the termination condition fired.  The pruning changes heap-pop counts, never
 distances, origins or routes.
+
+**Landmark pruning (ALT, v2).**  With ``use_landmarks=True`` the kernel
+additionally prunes against a congestion-free lower bound: ~8 landmark nodes
+are chosen once per fabric by farthest-point selection and the
+congestion-free distance from each landmark to every node is precomputed
+(per ``(T_move, T_turn)`` pair, memoised on the compiled graph).  For a
+query the per-node heuristic ``h(v)`` is the largest landmark-interval
+distance to the target set plus the smallest completion cost — admissible
+because congestion only ever *raises* weights above the congestion-free
+base, and consistent because each landmark term is 1-Lipschitz along edges.
+The kernel keeps plain Dijkstra's pop order and tie-breaking and uses
+``h`` **only to discard entries**, with a *strict* bound test
+(``candidate + h > bound``): any such entry can only lead to completions
+strictly worse than an already-known route, and the completion update uses
+a strict ``<``, so dropping them provably changes heap traffic, never the
+returned route.  ``cost_bound`` feeds the same test with an externally
+known achievable cost (the router re-costs a region-invalidated cached
+plan under the current congestion), so pruning starts before the first
+in-search completion is found.  Landmarks require a weight-symmetric graph
+(checked structurally at build time); asymmetric graphs silently fall back
+to plain Dijkstra.
+
+**Region footprints (v2).**  When ``regions_out`` is given, the kernel
+records the spatial regions (see :mod:`repro.routing.regions`) of every
+channel edge leaving a settled node.  Those are exactly the weights the
+search *read*, so a cached result stays byte-identical for as long as no
+channel in those regions (plus the caller's own attachment channels)
+changes — the validity predicate of the router's region-scoped route cache.
+
+**Batched multi-target search (v2).**  :meth:`shortest_routes_batch`
+answers one source set against several target groups (the candidate
+meeting traps of dual-operand planning) in a single kernel pass.  Each
+group keeps its own ``best_total``/winner and *freezes* exactly where its
+dedicated search would have terminated, while the shared frontier keeps
+expanding for the groups still open; with strictly positive edge weights
+(the only mode the router batches under) every per-group answer is
+byte-identical to the dedicated query's.
 """
 
 from __future__ import annotations
@@ -52,14 +89,21 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.routing.congestion import CongestionTracker
 from repro.routing.dijkstra import DijkstraResult
 from repro.routing.graph_model import EdgeKind, Node, RoutingGraph
+from repro.routing.regions import RegionGrid
 from repro.technology import TechnologyParams
 
 _INF = math.inf
+
+#: Landmarks per fabric; 8 keeps the per-node bound tight on the paper's
+#: fabrics while the per-node evaluation stays a short fixed-size loop.
+NUM_LANDMARKS = 8
+
+_MISSING = object()
 
 
 @dataclass
@@ -74,6 +118,12 @@ class RoutingCoreStats:
         edge_relaxations: Successful distance improvements over all searches.
         cache_hits: Route-cache hits in :class:`~repro.routing.router.Router`.
         cache_misses: Route-cache misses (each one runs the full planner).
+        shared_hits: Subset of ``cache_hits`` served by the cross-run
+            :class:`~repro.routing.shared_cache.SharedRouteStore`.
+        batched_searches: Multi-target batch passes
+            (:meth:`CompiledRoutingGraph.shortest_routes_batch` calls); each
+            counts once in ``dijkstra_calls`` but answers several trap-pair
+            queries.
     """
 
     dijkstra_calls: int = 0
@@ -81,6 +131,8 @@ class RoutingCoreStats:
     edge_relaxations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    shared_hits: int = 0
+    batched_searches: int = 0
 
     @property
     def route_queries(self) -> int:
@@ -105,6 +157,8 @@ class RoutingCoreStats:
             edge_relaxations=self.edge_relaxations - baseline.edge_relaxations,
             cache_hits=self.cache_hits - baseline.cache_hits,
             cache_misses=self.cache_misses - baseline.cache_misses,
+            shared_hits=self.shared_hits - baseline.shared_hits,
+            batched_searches=self.batched_searches - baseline.batched_searches,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -116,7 +170,55 @@ class RoutingCoreStats:
             "route_cache_hits": self.cache_hits,
             "route_cache_misses": self.cache_misses,
             "route_cache_hit_rate": self.cache_hit_rate,
+            "route_cache_shared_hits": self.shared_hits,
+            "routing_batched_searches": self.batched_searches,
         }
+
+
+class _LandmarkTable:
+    """Congestion-free landmark distances of one ``(T_move, T_turn)`` pair.
+
+    ``node_dists[v]`` is the tuple of distances from each landmark to node
+    ``v`` (transposed for cache-friendly per-node reads in the heuristic).
+
+    ``interval_cache`` memoises, per target-node set, the full per-node
+    vector of the heuristic's landmark-interval term
+    ``max_L interval_dist(D_L[v], [lo_L, hi_L])``.  Landmark distances are
+    congestion-free, so the vector depends only on *which* nodes are
+    targets — not on their completion costs — and searches towards the
+    same channel endpoints (the overwhelmingly common case: every trap
+    pair on the same channels shares them) reuse it for the lifetime of
+    the graph.  This turns the per-pop heuristic into one list index.
+    """
+
+    __slots__ = ("node_dists", "interval_cache")
+
+    def __init__(self, node_dists: list[tuple[float, ...]]) -> None:
+        self.node_dists = node_dists
+        self.interval_cache: dict[tuple[int, ...], list[float]] = {}
+
+    def interval_vector(self, target_nodes: tuple[int, ...]) -> list[float]:
+        """The memoised per-node interval term for one target-node set."""
+        vec = self.interval_cache.get(target_nodes)
+        if vec is None:
+            node_dists = self.node_dists
+            bounds = [
+                (min(column), max(column))
+                for column in zip(*(node_dists[t] for t in target_nodes))
+            ]
+            vec = []
+            append = vec.append
+            for dists in node_dists:
+                h = 0.0
+                for d, (lo, hi) in zip(dists, bounds):
+                    if d < lo:
+                        if lo - d > h:
+                            h = lo - d
+                    elif d > hi and d - hi > h:
+                        h = d - hi
+                append(h)
+            self.interval_cache[target_nodes] = vec
+        return vec
 
 
 class CompiledRoutingGraph:
@@ -196,6 +298,31 @@ class CompiledRoutingGraph:
         self._visited_gen = [0] * num_nodes
         self._generation = 0
 
+        # v2: per-node spatial-region bitmask — the regions of every channel
+        # edge *leaving* the node, i.e. the weights a search reads when it
+        # settles the node.  OR-ing the masks of the settled set yields the
+        # query's region footprint for the router's region-scoped cache.
+        self.region_grid = RegionGrid.shared(graph.fabric)
+        node_region_mask = [0] * num_nodes
+        node_channels: list[set] = [set() for _ in range(num_nodes)]
+        for e in range(len(edges)):
+            if not edge_is_turn[e]:
+                bit = 1 << self.region_grid.region_of(edges[e].channel_id)
+                node_region_mask[edge_source[e]] |= bit
+                node_channels[edge_source[e]].add(edges[e].channel_id)
+        self._node_region_mask = node_region_mask
+        #: Channel ids whose occupancy a search *reads* when it settles a
+        #: node: the channels of the node's outgoing non-turn edges (turn
+        #: edges are congestion-independent).  The router snapshots their
+        #: occupancies to validate cached plans exactly.
+        self._node_channel_ids: list[tuple] = [tuple(s) for s in node_channels]
+        self._mask_regions_memo: dict[int, tuple[int, ...]] = {}
+        #: GraphEdge identity -> edge index, for re-costing cached routes.
+        self._edge_lookup = {id(edge): e for e, edge in enumerate(edges)}
+        #: ``(move_delay, turn_cost) -> _LandmarkTable | None`` (``None`` when
+        #: the graph's base weights are asymmetric and ALT is unsound).
+        self._landmark_tables: dict[tuple[float, float], _LandmarkTable | None] = {}
+        self._structural_symmetry: bool | None = None
         # Congestion-dependent weights live inside the adjacency rows and are
         # patched lazily per epoch; ``_base_weight`` remembers each edge's
         # congestion-free weight for the reset half of a sync.
@@ -290,6 +417,156 @@ class CompiledRoutingGraph:
         self._weight_tracker_id = id(congestion)
 
     # ------------------------------------------------------------------
+    # Landmarks (ALT) and region footprints
+    # ------------------------------------------------------------------
+    def _mask_to_regions(self, mask: int) -> tuple[int, ...]:
+        """Region indices of a footprint bitmask (memoised; few masks recur)."""
+        regions = self._mask_regions_memo.get(mask)
+        if regions is None:
+            regions = tuple(
+                r for r in range(self.region_grid.num_regions) if mask & (1 << r)
+            )
+            self._mask_regions_memo[mask] = regions
+        return regions
+
+    def _base_weights_symmetric(self) -> bool:
+        """Whether every edge has a reverse twin of the same kind and length.
+
+        Base weights are pure functions of ``(kind, length)``, so structural
+        symmetry implies weight symmetry for every technology — the property
+        the landmark bound ``|d(L,u) - d(L,v)| <= d(u,v)`` needs.
+        """
+        if self._structural_symmetry is None:
+            forward = {
+                (self._edge_source[e], self._edge_target[e]): (
+                    self._edge_is_turn[e],
+                    self._edge_length[e],
+                )
+                for e in range(len(self._edges))
+            }
+            self._structural_symmetry = all(
+                forward.get((target, source)) == signature
+                for (source, target), signature in forward.items()
+            )
+        return self._structural_symmetry
+
+    def _congestion_free_dijkstra(
+        self, start: int, weights: list[float]
+    ) -> list[float]:
+        """Distances from ``start`` to every node under congestion-free weights."""
+        dist = [_INF] * self.num_nodes
+        dist[start] = 0.0
+        heap = [(0.0, start)]
+        adjacency = self._adjacency
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heap:
+            cost, node = pop(heap)
+            if cost > dist[node]:
+                continue
+            for _, t, e in adjacency[node]:
+                candidate = cost + weights[e]
+                if candidate < dist[t]:
+                    dist[t] = candidate
+                    push(heap, (candidate, t))
+        return dist
+
+    def _get_landmarks(
+        self, move_delay: float, turn_cost: float
+    ) -> _LandmarkTable | None:
+        """The landmark table of one technology key, built on first use."""
+        key = (move_delay, turn_cost)
+        table = self._landmark_tables.get(key, _MISSING)
+        if table is not _MISSING:
+            return table
+        table = self._build_landmarks(move_delay, turn_cost)
+        self._landmark_tables[key] = table
+        return table
+
+    def _build_landmarks(
+        self, move_delay: float, turn_cost: float
+    ) -> _LandmarkTable | None:
+        """Farthest-point landmark selection + one Dijkstra per landmark."""
+        num_nodes = self.num_nodes
+        if num_nodes == 0 or not self._base_weights_symmetric():
+            return None
+        lengths = self._edge_length
+        is_turn = self._edge_is_turn
+        weights = [
+            turn_cost if is_turn[e] else lengths[e] * move_delay
+            for e in range(len(self._edges))
+        ]
+        # Farthest-point selection: seed with the node farthest from node 0,
+        # then repeatedly add the node farthest from the chosen set.
+        seed = self._congestion_free_dijkstra(0, weights)
+        first = max(
+            (i for i in range(num_nodes) if math.isfinite(seed[i])),
+            key=seed.__getitem__,
+            default=0,
+        )
+        landmark_dists: list[list[float]] = []
+        chosen: set[int] = set()
+        current = first
+        min_dist = [_INF] * num_nodes
+        for _ in range(min(NUM_LANDMARKS, num_nodes)):
+            chosen.add(current)
+            dists = self._congestion_free_dijkstra(current, weights)
+            landmark_dists.append(dists)
+            for i in range(num_nodes):
+                if dists[i] < min_dist[i]:
+                    min_dist[i] = dists[i]
+            candidates = [
+                i
+                for i in range(num_nodes)
+                if i not in chosen and math.isfinite(min_dist[i])
+            ]
+            if not candidates:
+                break
+            current = max(candidates, key=min_dist.__getitem__)
+            if min_dist[current] <= 0.0:
+                break
+        node_dists = [
+            tuple(dists[v] for dists in landmark_dists) for v in range(num_nodes)
+        ]
+        return _LandmarkTable(node_dists)
+
+    def recost_route(
+        self,
+        result: DijkstraResult,
+        sources: Mapping[Node, float],
+        targets: Mapping[Node, float],
+        congestion: CongestionTracker,
+        technology: TechnologyParams,
+        *,
+        turn_aware_costing: bool = True,
+    ) -> float:
+        """Cost of re-walking ``result``'s route under the current congestion.
+
+        Returns ``inf`` when the old route is no longer traversable (a full
+        channel on it) or its endpoints' attachment costs went infinite.
+        The value is the total of an *achievable* route, so it is always an
+        upper bound on the current optimum — a valid ``cost_bound`` warm
+        start for :meth:`shortest_route` on the same query.
+        """
+        turn_cost = technology.turn_delay if turn_aware_costing else 0.0
+        self._sync_weights(congestion, technology.move_delay, turn_cost)
+        total = sources.get(result.entry_node, _INF)
+        if not math.isfinite(total):
+            return _INF
+        edge_lookup = self._edge_lookup
+        adjacency = self._adjacency
+        edge_source = self._edge_source
+        edge_row_pos = self._edge_row_pos
+        for edge in result.edges:
+            e = edge_lookup.get(id(edge))
+            if e is None:
+                return _INF
+            total += adjacency[edge_source[e]][edge_row_pos[e]][0]
+            if not math.isfinite(total):
+                return _INF
+        return total + targets.get(result.exit_node, _INF)
+
+    # ------------------------------------------------------------------
     # The kernel
     # ------------------------------------------------------------------
     def shortest_route(
@@ -302,6 +579,10 @@ class CompiledRoutingGraph:
         turn_aware_costing: bool = True,
         stats: RoutingCoreStats | None = None,
         blocked_channels: set | None = None,
+        regions_out: set | None = None,
+        read_out: set | None = None,
+        cost_bound: float = _INF,
+        use_landmarks: bool = False,
     ) -> DijkstraResult | None:
         """Array-based equivalent of :func:`repro.routing.dijkstra.shortest_route`.
 
@@ -324,6 +605,22 @@ class CompiledRoutingGraph:
                 one of those channels frees a slot: every other full channel
                 lies beyond the cut (unreachable either way), and releases of
                 non-full channels only change costs, never connectivity.
+            regions_out: Optional output set receiving the spatial-region
+                footprint the search read (regions of channel edges out of
+                settled nodes); see the module docstring.
+            read_out: Optional output set receiving the ids of every channel
+                whose occupancy the search *read* — the channels of non-turn
+                edges out of settled nodes.  Together with the caller's
+                source/target attachment channels this is the exact input
+                state of the search: while those occupancies are unchanged,
+                re-running it returns a byte-identical answer.
+            cost_bound: A known-achievable route total (default ``inf``);
+                entries that provably cannot beat it are pruned from the
+                start.  Must be an upper bound on the optimum — the router
+                derives it by re-costing a stale cached plan.
+            use_landmarks: Enable the ALT pruning described in the module
+                docstring.  Prunes heap traffic only; the returned route is
+                byte-identical either way.
 
         Returns:
             The cheapest :class:`DijkstraResult` — identical, route-for-route,
@@ -366,14 +663,36 @@ class CompiledRoutingGraph:
         if not target_cost:
             return None
 
+        # ALT setup: the per-node heuristic is the largest landmark-interval
+        # distance to the target set plus the smallest completion cost.  The
+        # interval form (one [lo, hi] per landmark over all target nodes)
+        # needs no per-target loop and stays admissible and consistent; the
+        # interval term is congestion-free and memoised per target-node set,
+        # so inside the loop ``h(v)`` is one list index plus one add.
+        h_table = (
+            self._get_landmarks(technology.move_delay, turn_cost)
+            if use_landmarks
+            else None
+        )
+        use_h = h_table is not None
+        if use_h:
+            h_int = h_table.interval_vector(tuple(sorted(target_cost)))
+            h_floor = min(target_cost.values())
+
         adjacency = self._adjacency
         best_total = _INF
         best_exit = -1
+        prune_bound = cost_bound
         pops = 0
         relaxations = 0
         pop = heapq.heappop
         push = heapq.heappush
         track_cut = blocked_channels is not None
+        track_read = read_out is not None
+        track_settled = track_cut or track_read
+        track_regions = regions_out is not None
+        node_region_mask = self._node_region_mask
+        footprint = 0
         settled: list[int] = []
 
         while heap:
@@ -384,17 +703,45 @@ class CompiledRoutingGraph:
             ):
                 continue
             visited_gen[node] = generation
-            if track_cut:
+            if track_settled:
                 settled.append(node)
+            if track_regions:
+                footprint |= node_region_mask[node]
             completion = target_cost.get(node)
             if completion is not None and cost + completion < best_total:
                 best_total = cost + completion
+                if best_total < prune_bound:
+                    prune_bound = best_total
                 best_exit = node
             # Once the cheapest settled node already exceeds the best complete
             # route, no better completion can exist.
             if cost >= best_total:
                 break
             node_origin = origin[node]
+            if use_h:
+                # Expansion skip: every push below would fail its own bound
+                # test (h is consistent), so skip the adjacency walk at once.
+                if cost + h_int[node] + h_floor > prune_bound:
+                    continue
+                for edge_cost, t, e in adjacency[node]:
+                    candidate = cost + edge_cost
+                    if candidate >= best_total:
+                        continue
+                    if dist_gen[t] != generation or candidate < dist[t]:
+                        # Strict-bound landmark prune: totals through ``t``
+                        # are at least ``candidate + h(t)``; beyond the known
+                        # achievable bound they can never win under the
+                        # strict-< completion update.
+                        if candidate + h_int[t] + h_floor > prune_bound:
+                            continue
+                        dist[t] = candidate
+                        dist_gen[t] = generation
+                        origin[t] = node_origin
+                        parent[t] = e
+                        push(heap, (candidate, counter, t))
+                        counter += 1
+                        relaxations += 1
+                continue
             for edge_cost, t, e in adjacency[node]:
                 candidate = cost + edge_cost
                 # Frontier pruning (see module docstring); an infinite edge
@@ -410,6 +757,12 @@ class CompiledRoutingGraph:
                     counter += 1
                     relaxations += 1
 
+        if track_regions and footprint:
+            regions_out.update(self._mask_to_regions(footprint))
+        if track_read:
+            node_channel_ids = self._node_channel_ids
+            for i in settled:
+                read_out.update(node_channel_ids[i])
         if stats is not None:
             stats.dijkstra_calls += 1
             stats.heap_pops += pops
@@ -445,6 +798,201 @@ class CompiledRoutingGraph:
             self._nodes[best_exit],
             tuple(edges),
         )
+
+    def shortest_routes_batch(
+        self,
+        sources: Mapping[Node, float],
+        target_groups: Sequence[Mapping[Node, float]],
+        congestion: CongestionTracker,
+        technology: TechnologyParams,
+        *,
+        turn_aware_costing: bool = True,
+        stats: RoutingCoreStats | None = None,
+        regions_out: set | None = None,
+        read_out: set | None = None,
+        use_landmarks: bool = False,
+    ) -> list[DijkstraResult | None]:
+        """Answer one source set against several target groups in one pass.
+
+        Equivalent to calling :meth:`shortest_route` once per group with the
+        same ``sources`` — the return value is byte-identical per group —
+        but the shared frontier is expanded once instead of once per group.
+        Each group keeps its own running best completion (strict-``<``
+        updates, exactly as the dedicated search) and *freezes* at the first
+        settle at or above it, which is precisely where its dedicated search
+        would have terminated; the loop ends when every group is frozen.
+
+        Byte-identity of the per-group winners and parent chains relies on
+        strictly positive edge weights (relaxers settle strictly before the
+        nodes they relax, pinning every parent pointer before any freeze),
+        so callers must not batch when ``T_turn`` is zero and turn edges
+        exist; the router enforces this.  Failure groups (no finite route)
+        report ``None`` but carry no blocking-cut information — the caller
+        re-runs those as dedicated cut-tracked queries.
+        """
+        node_index = self._node_index
+        turn_cost = technology.turn_delay if turn_aware_costing else 0.0
+        self._sync_weights(congestion, technology.move_delay, turn_cost)
+
+        self._generation += 1
+        generation = self._generation
+        dist = self._dist
+        parent = self._parent
+        origin = self._origin
+        dist_gen = self._dist_gen
+        visited_gen = self._visited_gen
+
+        heap: list[tuple[float, int, int]] = []
+        counter = 0
+        for node, cost in sources.items():
+            if not math.isfinite(cost):
+                continue
+            i = node_index[node]
+            if dist_gen[i] == generation and cost >= dist[i]:
+                continue
+            dist[i] = cost
+            dist_gen[i] = generation
+            origin[i] = i
+            parent[i] = -1
+            heapq.heappush(heap, (cost, counter, i))
+            counter += 1
+
+        num_groups = len(target_groups)
+        results: list[DijkstraResult | None] = [None] * num_groups
+        if not heap:
+            return results
+
+        # node -> [(group, completion), ...] over every group's finite targets.
+        group_targets: dict[int, list[tuple[int, float]]] = {}
+        alive = []
+        for g, targets in enumerate(target_groups):
+            finite = False
+            for node, cost in targets.items():
+                if math.isfinite(cost):
+                    group_targets.setdefault(node_index[node], []).append((g, cost))
+                    finite = True
+            if finite:
+                alive.append(g)
+        if not group_targets:
+            return results
+
+        h_table = (
+            self._get_landmarks(technology.move_delay, turn_cost)
+            if use_landmarks
+            else None
+        )
+        use_h = h_table is not None
+        if use_h:
+            h_int = h_table.interval_vector(tuple(sorted(group_targets)))
+            h_floor = min(
+                cost for pairs in group_targets.values() for _, cost in pairs
+            )
+
+        adjacency = self._adjacency
+        best_total = [_INF] * num_groups
+        best_exit = [-1] * num_groups
+        frozen = [g not in alive for g in range(num_groups)]
+        open_groups = len(alive)
+        # The shared prune bound: entries at or above every open group's best
+        # completion can improve none of them (same argument as the single
+        # search, applied group-wise with the loosest open bound).
+        bound_max = _INF
+        pops = 0
+        relaxations = 0
+        pop = heapq.heappop
+        push = heapq.heappush
+        track_regions = regions_out is not None
+        track_read = read_out is not None
+        node_region_mask = self._node_region_mask
+        footprint = 0
+        settled: list[int] = []
+
+        while heap and open_groups:
+            cost, _, node = pop(heap)
+            pops += 1
+            if visited_gen[node] == generation or (
+                dist_gen[node] == generation and cost > dist[node]
+            ):
+                continue
+            visited_gen[node] = generation
+            if track_read:
+                settled.append(node)
+            if track_regions:
+                footprint |= node_region_mask[node]
+            hits = group_targets.get(node)
+            recompute_bound = False
+            if hits is not None:
+                for g, completion in hits:
+                    if not frozen[g] and cost + completion < best_total[g]:
+                        best_total[g] = cost + completion
+                        best_exit[g] = node
+                        recompute_bound = True
+            # A settle at or above a group's best completion is exactly where
+            # that group's dedicated search would have broken out.
+            for g in alive:
+                if not frozen[g] and cost >= best_total[g]:
+                    frozen[g] = True
+                    open_groups -= 1
+                    recompute_bound = True
+            if not open_groups:
+                break
+            if recompute_bound:
+                bound_max = max(
+                    best_total[g] for g in alive if not frozen[g]
+                )
+            node_origin = origin[node]
+            if use_h:
+                if cost + h_int[node] + h_floor > bound_max:
+                    continue
+            for edge_cost, t, e in adjacency[node]:
+                candidate = cost + edge_cost
+                if candidate >= bound_max:
+                    continue
+                if dist_gen[t] != generation or candidate < dist[t]:
+                    if use_h and candidate + h_int[t] + h_floor > bound_max:
+                        continue
+                    dist[t] = candidate
+                    dist_gen[t] = generation
+                    origin[t] = node_origin
+                    parent[t] = e
+                    push(heap, (candidate, counter, t))
+                    counter += 1
+                    relaxations += 1
+
+        if track_regions and footprint:
+            regions_out.update(self._mask_to_regions(footprint))
+        if track_read:
+            node_channel_ids = self._node_channel_ids
+            for i in settled:
+                read_out.update(node_channel_ids[i])
+        if stats is not None:
+            stats.dijkstra_calls += 1
+            stats.batched_searches += 1
+            stats.heap_pops += pops
+            stats.edge_relaxations += relaxations
+
+        edge_objects = self._edges
+        edge_source = self._edge_source
+        for g in alive:
+            exit_node = best_exit[g]
+            if exit_node < 0 or not math.isfinite(best_total[g]):
+                continue
+            edges = []
+            node = exit_node
+            while True:
+                e = parent[node]
+                if e < 0:
+                    break
+                edges.append(edge_objects[e])
+                node = edge_source[e]
+            edges.reverse()
+            results[g] = DijkstraResult(
+                best_total[g],
+                self._nodes[origin[exit_node]],
+                self._nodes[exit_node],
+                tuple(edges),
+            )
+        return results
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,14 @@ integer comparison.  Because the counter is process-wide and also advanced
 when a tracker is created or reset, two *different* trackers can never carry
 the same epoch, so stale derived values from a previous run are never
 mistaken for fresh ones.
+
+On top of the global epoch the tracker keeps **region stamps**: the fabric's
+channels are partitioned into a few spatial regions (see
+:mod:`repro.routing.regions`) and every mutation of a channel re-stamps only
+that channel's region with the new epoch.  A consumer that recorded which
+regions its computation *touched* (the router's v2 route cache) can then
+survive congestion changes elsewhere on the fabric — the check degrades from
+"any change anywhere evicts" to "only changes in my footprint evict".
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from collections import Counter
 from repro.errors import RoutingError
 from repro.fabric.components import ChannelId
 from repro.fabric.fabric import Fabric
+from repro.routing.regions import RegionGrid
 
 
 class CongestionTracker:
@@ -42,6 +51,11 @@ class CongestionTracker:
         self._peak: Counter[ChannelId] = Counter()
         self._total_reservations = 0
         self._epoch = next(CongestionTracker._epoch_source)
+        self.regions = RegionGrid.shared(fabric)
+        # Every region starts stamped with the construction epoch, so a plan
+        # computed under an older tracker can never validate against this one.
+        self._region_epochs = [self._epoch] * self.regions.num_regions
+        self._region_occupancy = [0] * self.regions.num_regions
 
     # ------------------------------------------------------------------
     # Queries
@@ -70,6 +84,32 @@ class CongestionTracker:
     def occupancy(self, channel_id: ChannelId) -> int:
         """Current number of qubits using (or booked to use) ``channel_id``."""
         return self._occupancy[channel_id]
+
+    def region_epoch(self, region: int) -> int:
+        """Epoch of the last congestion change inside ``region``."""
+        return self._region_epochs[region]
+
+    def regions_unchanged_since(self, regions, epoch: int) -> bool:
+        """Whether no channel in any of ``regions`` changed after ``epoch``.
+
+        This is the v2 route-cache validity check: a plan whose search only
+        touched ``regions`` re-computes byte-identically iff every one of
+        those regions still carries a stamp ≤ the epoch the plan was
+        computed under.
+        """
+        region_epochs = self._region_epochs
+        return all(region_epochs[region] <= epoch for region in regions)
+
+    def regions_idle(self, regions) -> bool:
+        """Whether no channel in any of ``regions`` holds a reservation.
+
+        The cross-run shared route store keys on this: a plan computed while
+        its footprint regions were idle is valid for *any* tracker of the
+        same fabric whose footprint regions are currently idle, because
+        every weight the search read is the congestion-free base weight.
+        """
+        region_occupancy = self._region_occupancy
+        return all(region_occupancy[region] == 0 for region in regions)
 
     def is_full(self, channel_id: ChannelId) -> bool:
         """Whether ``channel_id`` has no residual capacity."""
@@ -123,6 +163,9 @@ class CongestionTracker:
         self._peak[channel_id] = max(self._peak[channel_id], self._occupancy[channel_id])
         self._total_reservations += 1
         self._epoch = next(CongestionTracker._epoch_source)
+        region = self.regions.region_of(channel_id)
+        self._region_epochs[region] = self._epoch
+        self._region_occupancy[region] += 1
 
     def release(self, channel_id: ChannelId) -> bool:
         """Free one slot of ``channel_id``.
@@ -144,6 +187,9 @@ class CongestionTracker:
         if self._occupancy[channel_id] == 0:
             del self._occupancy[channel_id]
         self._epoch = next(CongestionTracker._epoch_source)
+        region = self.regions.region_of(channel_id)
+        self._region_epochs[region] = self._epoch
+        self._region_occupancy[region] -= 1
         return was_full
 
     def reserve_all(self, channel_ids: list[ChannelId]) -> None:
@@ -171,6 +217,12 @@ class CongestionTracker:
         no-net-change pair does not spuriously invalidate epoch-tagged
         derived state (the route cache, the compiled core's weight sync).
 
+        Note: only the *global* epoch is restored; region stamps advanced by
+        the balanced sequence stay advanced, which is safe (a too-new region
+        stamp can only cause a spurious cache miss, never a stale hit) but
+        costs hit rate.  Prefer :meth:`capture_state` /
+        :meth:`restore_state`, which restore the region stamps too.
+
         Raises:
             RoutingError: If ``epoch`` is newer than the current epoch (that
                 can never describe the current state).
@@ -181,9 +233,35 @@ class CongestionTracker:
             )
         self._epoch = epoch
 
+    def capture_state(self) -> tuple[int, tuple[int, ...]]:
+        """Capture the epoch state (global + per-region) for later restore.
+
+        Pair with :meth:`restore_state` around a balanced mutation sequence
+        (every reserve released again) to make the sequence invisible to all
+        epoch- and region-tagged consumers.
+        """
+        return (self._epoch, tuple(self._region_epochs))
+
+    def restore_state(self, state: tuple[int, tuple[int, ...]]) -> None:
+        """Restore a :meth:`capture_state` snapshot after a balanced sequence.
+
+        Raises:
+            RoutingError: If the captured epoch is newer than the current one
+                (the snapshot can never describe the current state).
+        """
+        epoch, region_epochs = state
+        if epoch > self._epoch:
+            raise RoutingError(
+                f"cannot restore epoch {epoch}: newer than current {self._epoch}"
+            )
+        self._epoch = epoch
+        self._region_epochs = list(region_epochs)
+
     def reset(self) -> None:
         """Clear all occupancy (used between independent mapping runs)."""
         self._occupancy.clear()
         self._peak.clear()
         self._total_reservations = 0
         self._epoch = next(CongestionTracker._epoch_source)
+        self._region_epochs = [self._epoch] * self.regions.num_regions
+        self._region_occupancy = [0] * self.regions.num_regions

@@ -1,0 +1,80 @@
+"""Spatial regions of the routing fabric (the unit of congestion epochs).
+
+A :class:`RegionGrid` partitions the fabric's channels into a small grid of
+rectangular **regions** by bucketing each channel's midpoint cell.  Regions
+are the granularity at which the congestion tracker stamps change epochs:
+reserving or releasing a channel only advances the stamp of the channel's
+region, so a cached route plan stays valid as long as no region its search
+*touched* has changed — congestion on the far side of the fabric no longer
+evicts it.
+
+The grid is deliberately coarse (default ``4×4`` ⇒ at most 16 regions, so a
+plan's footprint fits in one small ``frozenset`` or an int bitmask).  A finer
+grid would invalidate less but stamp more; 16 regions already recovers the
+locality the route cache needs (hit rates above 50% on the tracked QECC
+cases) while keeping every per-reservation update O(1).
+
+Like :class:`~repro.routing.graph_model.RoutingGraph`, the grid is a pure
+function of the fabric and is memoised on the fabric instance via
+:meth:`RegionGrid.shared`, so the router, the congestion tracker and the
+compiled kernel all agree on one partition per fabric.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.components import ChannelId
+from repro.fabric.fabric import Fabric
+
+#: Default number of region rows/columns of the partition grid.
+DEFAULT_REGION_DIM = 4
+
+
+class RegionGrid:
+    """Partition of a fabric's channels into spatial regions.
+
+    Attributes:
+        fabric: The fabric being partitioned.
+        num_regions: Total number of regions (``rows * cols`` of the grid,
+            capped so degenerate fabrics get at least one region).
+    """
+
+    def __init__(self, fabric: Fabric, *, region_dim: int = DEFAULT_REGION_DIM) -> None:
+        self.fabric = fabric
+        rows = max(1, min(region_dim, fabric.cell_rows))
+        cols = max(1, min(region_dim, fabric.cell_cols))
+        self._rows = rows
+        self._cols = cols
+        self.num_regions = rows * cols
+        row_span = fabric.cell_rows / rows
+        col_span = fabric.cell_cols / cols
+        region_of: dict[ChannelId, int] = {}
+        for channel_id, channel in fabric.channels.items():
+            mid_row, mid_col = channel.cells[len(channel.cells) // 2]
+            r = min(rows - 1, int(mid_row / row_span))
+            c = min(cols - 1, int(mid_col / col_span))
+            region_of[channel_id] = r * cols + c
+        self._region_of = region_of
+        #: All regions, as a mask — handy for "everything changed" fallbacks.
+        self.all_regions_mask = (1 << self.num_regions) - 1
+
+    def region_of(self, channel_id: ChannelId) -> int:
+        """Region index of ``channel_id`` (0 ≤ index < :attr:`num_regions`)."""
+        return self._region_of[channel_id]
+
+    def regions_of(self, channel_ids) -> frozenset[int]:
+        """Region indices covering every channel in ``channel_ids``."""
+        region_of = self._region_of
+        return frozenset(region_of[channel_id] for channel_id in channel_ids)
+
+    @classmethod
+    def shared(cls, fabric: Fabric, *, region_dim: int = DEFAULT_REGION_DIM) -> RegionGrid:
+        """The memoised grid of ``fabric`` (one partition per fabric instance)."""
+        cache = fabric.__dict__.setdefault("_region_grids", {})
+        grid = cache.get(region_dim)
+        if grid is None:
+            grid = cls(fabric, region_dim=region_dim)
+            cache[region_dim] = grid
+        return grid
+
+
+__all__ = ["DEFAULT_REGION_DIM", "RegionGrid"]

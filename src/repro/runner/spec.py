@@ -68,7 +68,10 @@ PLACERLESS_MAPPERS: frozenset[str] = frozenset({"quale", "qpos", "ideal"})
 #: Schema 4: records carry the event-driven core's loop counters
 #: (``events_processed`` … ``event_issue_polls``); schema-3 records would
 #: report them as zero, so they are never served again.
-CACHE_SCHEMA = 4
+#: Schema 5: routing kernel v2 — records carry the shared-store and batched
+#: -search counters, and the v2 cache changes the hit/miss/heap-pop counter
+#: values of otherwise identical runs, so schema-4 records are retired.
+CACHE_SCHEMA = 5
 
 
 @dataclass(frozen=True)

@@ -183,6 +183,7 @@ class FabricSimulator:
         compiled_routing: bool = True,
         event_core: bool = True,
         busy_wake_sets: bool = True,
+        routing_v2: bool = True,
         shared_route_cache: bool = False,
     ) -> None:
         """Create a simulator.
@@ -232,14 +233,23 @@ class FabricSimulator:
                 differential tests can reproduce the eager-retry behaviour.
                 Latencies, schedules and movement counts are unchanged; only
                 the number of futile router calls drops.
+            routing_v2: Run the router's v2 fast path — region-scoped route
+                -cache invalidation, landmark (ALT) heap-pop pruning,
+                warm-started re-computation and batched candidate prefills
+                (see :class:`~repro.routing.router.Router`).  Plans, routes
+                and schedules are byte-identical either way (held by the
+                differential suites); only the cache/heap counters and wall
+                time differ.  Requires ``compiled_routing``; kept
+                selectable for differential tests and benchmarks.
             shared_route_cache: Let the router consult the cross-run
-                idle-route store memoised on the fabric (see
-                :mod:`repro.routing.shared_cache`): idle-congestion plans
-                are shared by every simulator on the same fabric,
-                technology and routing policy.  Results are identical; only
-                the cache-hit counters change.  Off by default to keep
-                default-scenario reports byte-stable — service workers,
-                which run many jobs on one memoised fabric, enable it.
+                route store memoised on the fabric (see
+                :mod:`repro.routing.shared_cache`): plans whose region
+                footprint was idle are shared by every simulator on the
+                same fabric, technology and routing policy.  Results are
+                identical; only the cache-hit counters change.  Off by
+                default to keep default-scenario reports byte-stable —
+                service workers, which run many jobs on one memoised
+                fabric, enable it.
         """
         self.circuit = circuit
         self.fabric = fabric
@@ -270,6 +280,7 @@ class FabricSimulator:
             routing_policy,
             use_compiled=compiled_routing,
             use_route_cache=compiled_routing,
+            routing_v2=routing_v2,
             shared_store=shared_store,
         )
         self.priorities = self.scheduler.priorities(self.qidg, technology)

@@ -31,7 +31,7 @@ def _finish_one_job(store, spec):
     cell = CellResult(
         circuit=spec.circuit, mapper=spec.mapper, placer="center",
         latency=100.0, ideal_latency=80.0, routing_seconds=0.1,
-        route_cache_hits=3, route_cache_misses=1,
+        route_cache_hits=3, route_cache_misses=1, route_cache_shared_hits=2,
     )
     store.complete(claimed.id, cell, stage_seconds={"place": 0.2, "simulate": 0.3})
     return claimed
@@ -64,6 +64,7 @@ class TestSnapshot:
             assert frame["latencies"][series]["count"] == 1
             assert frame["latencies"][series]["p95_seconds"] >= 0.0
         assert frame["route_cache"]["hit_rate"] == pytest.approx(0.75)
+        assert frame["route_cache"]["shared_hits"] == 2
 
     def test_snapshot_round_trips_through_json(self, store, spec):
         _finish_one_job(store, spec)
@@ -80,6 +81,7 @@ class TestRender:
         assert "done      1" in text
         assert "stage place" in text
         assert "75% hit rate" in text
+        assert "(2 shared)" in text
         assert "\x1b[" not in text, "color=False must not emit ANSI codes"
 
     def test_empty_store_renders_placeholders(self, store):

@@ -140,6 +140,11 @@ class _DifferentialShim:
         _assert_same_result(legacy_result, compiled_result, f"query {self.queries}")
         return compiled_result
 
+    def recost_route(self, *args, **kwargs):
+        # Warm-start bound probes are pure reads; forward them unchecked (the
+        # bounded search result is still cross-checked above).
+        return self.compiled.recost_route(*args, **kwargs)
+
 
 @pytest.mark.parametrize("circuit_name", ["[[5,1,3]]", "[[7,1,3]]", "[[9,1,3]]"])
 @pytest.mark.parametrize(

@@ -1,0 +1,106 @@
+"""Region grid and region-stamped congestion epochs (routing kernel v2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.congestion import CongestionTracker
+from repro.routing.regions import DEFAULT_REGION_DIM, RegionGrid
+
+
+@pytest.fixture
+def grid(small_fabric_4x4):
+    return RegionGrid.shared(small_fabric_4x4)
+
+
+class TestRegionGrid:
+    def test_every_channel_gets_exactly_one_region(self, small_fabric_4x4, grid):
+        for channel_id in small_fabric_4x4.channels:
+            assert 0 <= grid.region_of(channel_id) < grid.num_regions
+
+    def test_grid_is_bounded_by_the_default_dim(self, grid):
+        assert 1 <= grid.num_regions <= DEFAULT_REGION_DIM * DEFAULT_REGION_DIM
+        assert grid.all_regions_mask == (1 << grid.num_regions) - 1
+
+    def test_regions_of_unions_per_channel_regions(self, small_fabric_4x4, grid):
+        channels = sorted(small_fabric_4x4.channels)[:5]
+        footprint = grid.regions_of(channels)
+        assert footprint == frozenset(grid.region_of(c) for c in channels)
+
+    def test_degenerate_fabric_has_at_least_one_region(self, tiny_fabric):
+        grid = RegionGrid(tiny_fabric)
+        assert grid.num_regions >= 1
+        for channel_id in tiny_fabric.channels:
+            assert grid.region_of(channel_id) >= 0
+
+    def test_shared_grid_is_memoised_per_fabric(self, small_fabric_4x4):
+        assert RegionGrid.shared(small_fabric_4x4) is RegionGrid.shared(
+            small_fabric_4x4
+        )
+        assert RegionGrid.shared(small_fabric_4x4, region_dim=2) is not RegionGrid.shared(
+            small_fabric_4x4
+        )
+
+    def test_nearby_channels_share_regions_far_ones_do_not(self, small_fabric_4x4, grid):
+        # The partition must actually separate space, or region stamps would
+        # degenerate into one global epoch.
+        regions = {grid.region_of(c) for c in small_fabric_4x4.channels}
+        assert len(regions) > 1
+
+
+class TestRegionStamps:
+    @pytest.fixture
+    def tracker(self, small_fabric_4x4):
+        return CongestionTracker(small_fabric_4x4, channel_capacity=2)
+
+    def test_reserve_stamps_only_the_channels_region(self, tracker, grid, small_fabric_4x4):
+        channels = sorted(small_fabric_4x4.channels)
+        channel = channels[0]
+        baseline = tracker.epoch
+        tracker.reserve(channel)
+        touched = grid.region_of(channel)
+        assert tracker.region_epoch(touched) > baseline
+        untouched = [
+            region
+            for region in range(grid.num_regions)
+            if region != touched
+        ]
+        assert tracker.regions_unchanged_since(untouched, baseline)
+        assert not tracker.regions_unchanged_since([touched], baseline)
+
+    def test_release_also_stamps_the_region(self, tracker, grid, small_fabric_4x4):
+        channel = sorted(small_fabric_4x4.channels)[0]
+        tracker.reserve(channel)
+        after_reserve = tracker.epoch
+        tracker.release(channel)
+        assert not tracker.regions_unchanged_since(
+            [grid.region_of(channel)], after_reserve
+        )
+
+    def test_regions_idle_tracks_per_region_occupancy(self, tracker, grid, small_fabric_4x4):
+        channel = sorted(small_fabric_4x4.channels)[0]
+        region = grid.region_of(channel)
+        assert tracker.regions_idle([region])
+        tracker.reserve(channel)
+        assert not tracker.regions_idle([region])
+        tracker.release(channel)
+        assert tracker.regions_idle([region])
+
+    def test_capture_restore_rewinds_region_stamps(self, tracker, grid, small_fabric_4x4):
+        channel = sorted(small_fabric_4x4.channels)[0]
+        region = grid.region_of(channel)
+        baseline = tracker.epoch
+        state = tracker.capture_state()
+        tracker.reserve(channel)
+        tracker.release(channel)
+        tracker.restore_state(state)
+        # The overlay's balanced churn is invisible afterwards: plans cached
+        # before it stay valid by the region fast path.
+        assert tracker.epoch == baseline
+        assert tracker.regions_unchanged_since([region], baseline)
+
+    def test_empty_footprint_is_vacuously_unchanged(self, tracker):
+        # Entries with an empty region footprint (e.g. same-channel plans)
+        # must not be invalidated by unrelated traffic.
+        assert tracker.regions_unchanged_since([], tracker.epoch)
+        assert tracker.regions_idle([])

@@ -207,6 +207,32 @@ class TestRouteCache:
         congestion.release(source_channel)
         assert router.plan_qubit_route("q", source, target, congestion) is not None
 
+    def test_cut_hint_table_is_lru_capped(self, router, small_fabric_4x4):
+        from repro.routing.router import MAX_CUT_HINTS
+
+        congestion = CongestionTracker(small_fabric_4x4, 1)
+        source, target = self._distant_pair(small_fabric_4x4)
+        endpoint_channels = {
+            small_fabric_4x4.trap(source).channel_id,
+            small_fabric_4x4.trap(target).channel_id,
+        }
+        # Saturate every intermediate channel: the search fails past the
+        # endpoint fast path and records its blocking cut as a hint.
+        for channel_id in small_fabric_4x4.channels:
+            if channel_id not in endpoint_channels:
+                congestion.reserve(channel_id)
+        # A long-lived service worker accumulates one hint per probed trap
+        # pair; fill the table to its cap with synthetic stale pairs.
+        for index in range(MAX_CUT_HINTS):
+            router._cut_hints[(("fake", index), ("fake", -index))] = ()
+        oldest = next(iter(router._cut_hints))
+        cut = set()
+        assert router.plan_qubit_route("q", source, target, congestion, cut=cut) is None
+        assert cut, "the blocked search must report its cut"
+        assert (source, target) in router._cut_hints
+        assert len(router._cut_hints) <= MAX_CUT_HINTS
+        assert oldest not in router._cut_hints, "the cap must evict oldest-first"
+
     def test_cache_disabled_router_never_counts_cache_traffic(self, small_fabric_4x4, congestion):
         router = Router(
             small_fabric_4x4,

@@ -1,0 +1,150 @@
+"""Randomized differential suite: routing kernel v2 vs the v1 compiled core.
+
+Two properties, mirroring :mod:`tests.sim.test_event_core_differential`:
+
+* For any circuit, scheduler and technology, ``routing_v2`` (occupancy-
+  snapshot route caches, landmark-guided search, batched candidate
+  prefills) computes byte-for-byte the same mapping as the v1 compiled core
+  — same latency, same issue order, same movement and congestion totals —
+  while never popping *more* heap entries.
+* For any interleaving of reservations, releases and route queries, a plan
+  served from the v2 caches equals the plan a cache-less router computes
+  fresh under the same congestion state (the hypothesis property below):
+  invalidation can never serve a plan whose read channels changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric.builder import FabricSpec, build_fabric, small_fabric
+from repro.mapper.options import MapperOptions
+from repro.pipeline.circuits import resolve_circuit
+from repro.pipeline.stages import MappingPipeline
+from repro.pipeline.technologies import resolve_technology
+from repro.routing.congestion import CongestionTracker
+from repro.routing.router import Router
+
+SCHEDULERS = ("qspr", "quale-alap", "qpos-dependents", "qpos-path-delay")
+TECHNOLOGIES = ("paper", "cap-1", "fast-turn")
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return small_fabric(junction_rows=6, junction_cols=6)
+
+
+def _map(circuit_name, fabric, scheduler, technology, *, routing_v2, shared=False):
+    options = MapperOptions(
+        technology=resolve_technology(technology),
+        scheduler=scheduler,
+        placer="center",
+        routing_v2=routing_v2,
+        shared_route_cache=shared,
+    )
+    circuit = resolve_circuit(circuit_name)
+    return MappingPipeline.standard().run(circuit, fabric, options=options)
+
+
+def _assert_same_mapping(v1, v2):
+    assert v2.latency == v1.latency
+    assert v2.schedule == v1.schedule
+    assert v2.total_moves == v1.total_moves
+    assert v2.total_turns == v1.total_turns
+    assert v2.total_congestion_delay == v1.total_congestion_delay
+    assert v2.final_placement.as_dict() == v1.final_placement.as_dict()
+
+
+class TestRoutingV2Differential:
+    @pytest.mark.parametrize("technology", TECHNOLOGIES)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_every_scheduler_technology_pair_agrees(
+        self, fabric, scheduler, technology
+    ):
+        # The seed varies per cell so the sweep covers 12 distinct circuits,
+        # while staying reproducible run to run.
+        seed = 13 * SCHEDULERS.index(scheduler) + TECHNOLOGIES.index(technology)
+        name = f"random-layered:q=12:d=10:fill=1.0:locality=2:seed={seed}"
+        v1 = _map(name, fabric, scheduler, technology, routing_v2=False)
+        v2 = _map(name, fabric, scheduler, technology, routing_v2=True)
+        _assert_same_mapping(v1, v2)
+        # The landmark lower bound and snapshot caches only ever *avoid*
+        # kernel work; both counters are deterministic.
+        assert v2.routing_stats.heap_pops <= v1.routing_stats.heap_pops
+        assert v2.routing_stats.dijkstra_calls <= v1.routing_stats.dijkstra_calls
+
+    def test_qecc_benchmarks_agree_and_prune_pops(self, fabric):
+        # The golden-suite circuits, where the CI gates measure the pruning.
+        for name in ("[[9,1,3]]", "[[19,1,7]]"):
+            v1 = _map(name, fabric, "qspr", "paper", routing_v2=False)
+            v2 = _map(name, fabric, "qspr", "paper", routing_v2=True)
+            _assert_same_mapping(v1, v2)
+            assert v2.routing_stats.heap_pops < v1.routing_stats.heap_pops
+            assert v2.routing_stats.cache_hits > 0
+
+    def test_shared_store_runs_stay_identical(self):
+        # A private fabric so the cross-run store built here dies with the
+        # test.  The second shared run answers from the store (shared hits,
+        # zero pops) and must still reproduce the v1 mapping exactly.
+        fabric = small_fabric(junction_rows=6, junction_cols=6)
+        name = "random-layered:q=16:d=12:fill=1.0:locality=2:seed=5"
+        v1 = _map(name, fabric, "qspr", "cap-1", routing_v2=False)
+        first = _map(name, fabric, "qspr", "cap-1", routing_v2=True, shared=True)
+        second = _map(name, fabric, "qspr", "cap-1", routing_v2=True, shared=True)
+        _assert_same_mapping(v1, first)
+        _assert_same_mapping(v1, second)
+        assert second.routing_stats.shared_hits > 0
+        assert second.routing_stats.cache_hit_rate >= first.routing_stats.cache_hit_rate
+
+
+#: Module-level fabric for the hypothesis property: hypothesis reuses the
+#: function across examples, so pytest function fixtures are off limits.
+_PROP_FABRIC = build_fabric(
+    FabricSpec(name="prop", junction_rows=4, junction_cols=4, channel_length=3)
+)
+_PROP_CHANNELS = sorted(_PROP_FABRIC.channels)
+_PROP_TRAPS = sorted(_PROP_FABRIC.traps)
+
+
+class TestSnapshotInvalidationProperty:
+    """Cache invalidation soundness under arbitrary congestion churn.
+
+    The reference router plans every query from scratch (no route cache, so
+    no v2 layer either); the cached router runs the full v2 stack.  If a
+    region stamp or occupancy snapshot ever validated a plan whose read
+    channels changed, the served plan would diverge from the fresh one on
+    some interleaving — hypothesis searches for exactly that.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_served_plans_equal_fresh_computation(self, data):
+        cached = Router(_PROP_FABRIC, routing_v2=True)
+        reference = Router(_PROP_FABRIC, use_route_cache=False)
+        congestion = CongestionTracker(_PROP_FABRIC, channel_capacity=2)
+        reserved: list = []
+        for _ in range(data.draw(st.integers(8, 30), label="ops")):
+            op = data.draw(
+                st.sampled_from(("reserve", "release", "query", "query")), label="op"
+            )
+            if op == "reserve":
+                channel = data.draw(st.sampled_from(_PROP_CHANNELS), label="ch")
+                if not congestion.is_full(channel):
+                    congestion.reserve(channel)
+                    reserved.append(channel)
+            elif op == "release":
+                if reserved:
+                    index = data.draw(
+                        st.integers(0, len(reserved) - 1), label="idx"
+                    )
+                    congestion.release(reserved.pop(index))
+            else:
+                source = data.draw(st.sampled_from(_PROP_TRAPS), label="src")
+                target = data.draw(st.sampled_from(_PROP_TRAPS), label="tgt")
+                served = cached.plan_qubit_route("q", source, target, congestion)
+                fresh = reference.plan_qubit_route("q", source, target, congestion)
+                assert served == fresh, (
+                    f"cached plan diverged for {source}->{target} under "
+                    f"occupancies {congestion.snapshot()}"
+                )

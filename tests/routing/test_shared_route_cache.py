@@ -39,8 +39,11 @@ class TestSharedRouteStore:
         (fabric,) = fabrics.values()
         (store,) = fabric.__dict__["_shared_route_stores"].values()
         assert store.stores > 0
-        assert store.hits > 0  # job 2 reused idle-congestion plans of job 1
-        assert second.route_cache_hits > first.route_cache_hits
+        assert store.hits > 0  # job 2 reused plans stored by job 1
+        # The v2 cache prefetches candidate legs, so *total* hits saturate in
+        # both jobs; the cross-job reuse is visible in the shared-hit subset.
+        assert second.route_cache_shared_hits > 0
+        assert second.route_cache_hits >= first.route_cache_hits
 
     def test_shared_cache_does_not_change_results(self):
         baseline = map_spec(_spec())

@@ -13,8 +13,10 @@ from repro.runner.bench import (
     BenchCase,
     QUICK_CASES,
     QUICK_EVENT_SPEEDUP_CIRCUITS,
+    ROUTING_V2_CIRCUITS,
     format_perf_report,
     measure_event_core_speedup,
+    measure_routing_v2_speedup,
     measure_speedup,
     run_perf_suite,
     time_case,
@@ -50,6 +52,25 @@ class TestMeasureSpeedup:
         assert largest.num_qubits == max(
             qecc_encoder(name).num_qubits for name in BENCHMARK_NAMES
         )
+
+
+class TestMeasureRoutingV2Speedup:
+    def test_legs_agree_and_record_all_gated_fields(self):
+        entry = measure_routing_v2_speedup("[[9,1,3]]", fabric_name="small", repeats=1)
+        assert entry["kind"] == "routing-v2"
+        assert entry["legacy_routing_seconds"] > 0
+        assert entry["v1_routing_seconds"] > 0
+        assert entry["warm_routing_seconds"] > 0
+        assert entry["speedup"] > 0
+        assert entry["wall_speedup"] > 0
+        assert entry["latency_us"] > 0
+        # Deterministic legs: cold pops shrink under the landmark bound and
+        # warm runs are answered entirely from the shared store.
+        assert 0 < entry["cold_heap_pops"] < entry["v1_heap_pops"]
+        assert entry["heap_pop_speedup"] > 1.0
+        assert entry["warm_heap_pops"] == 0
+        assert entry["route_cache_hit_rate"] > entry["cold_hit_rate"]
+        assert entry["route_cache_shared_hits"] > 0
 
 
 class TestMeasureEventCoreSpeedup:
@@ -92,11 +113,30 @@ class TestRunPerfSuite:
     def test_speedup_entries_are_kind_discriminated(self, report):
         data, _ = report
         kinds = {entry["kind"] for entry in data["speedups"]}
-        assert kinds == {"compiled-core", "event-core"}
+        assert kinds == {"compiled-core", "routing-v2", "event-core"}
         event = [e for e in data["speedups"] if e["kind"] == "event-core"]
         assert len(event) == len(QUICK_EVENT_SPEEDUP_CIRCUITS)
         for entry in event:
             assert entry["route_query_speedup"] >= 1.0
+
+    def test_routing_v2_entries_carry_the_gated_legs(self, report):
+        data, _ = report
+        entries = {
+            e["circuit"]: e for e in data["speedups"] if e["kind"] == "routing-v2"
+        }
+        assert set(entries) == set(ROUTING_V2_CIRCUITS)
+        for entry in entries.values():
+            # The CI acceptance gates: warm hit rate, routing speedup and the
+            # deterministic heap-pop reduction from the landmark heuristic.
+            assert entry["route_cache_hit_rate"] >= 0.5
+            assert entry["heap_pop_speedup"] >= 2.0
+            assert entry["speedup"] > 0
+            assert entry["cumulative_speedup"] > entry["speedup"]
+            # Warm runs are fully served from the shared store: the kernel
+            # never runs, so the pop counter stays at zero.
+            assert entry["warm_heap_pops"] == 0
+            assert entry["route_cache_shared_hits"] > 0
+            assert entry["cold_heap_pops"] < entry["v1_heap_pops"]
 
     def test_written_file_round_trips(self, report):
         data, out = report
